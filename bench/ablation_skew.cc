@@ -1,0 +1,72 @@
+// Copyright 2026 mpqopt authors.
+//
+// Ablation B: skew across partitions. The paper's partitioning guarantees
+// that all plan-space partitions contain exactly the same number of
+// admissible join results, so per-worker DP run time is near-uniform —
+// the property that makes the coarse one-task-per-worker decomposition
+// viable. We run every partition of one decomposition and report the
+// distribution of per-worker optimization times and memo sizes.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "optimizer/dp.h"
+
+namespace mpqopt {
+namespace {
+
+void Run(PlanSpace space, int n, uint64_t m, const BenchConfig& config) {
+  PrintHeader((std::string("Ablation B — skew across ") + std::to_string(m) +
+               " partitions, " + PlanSpaceName(space) + " " +
+               std::to_string(n) + " tables")
+                  .c_str());
+  TablePrinter table({"query", "sets/worker", "min time (ms)",
+                      "median time (ms)", "max time (ms)", "max/min"});
+  const std::vector<Query> queries = MakeQueries(
+      n, config.queries_per_point, JoinGraphShape::kStar, config.seed);
+  int qi = 0;
+  for (const Query& q : queries) {
+    std::vector<double> seconds;
+    int64_t sets = -1;
+    for (uint64_t part = 0; part < m; ++part) {
+      StatusOr<ConstraintSet> c =
+          ConstraintSet::FromPartitionId(n, space, part, m);
+      MPQOPT_CHECK(c.ok());
+      DpConfig dp;
+      dp.space = space;
+      StatusOr<DpResult> result = RunPartitionDp(q, c.value(), dp);
+      MPQOPT_CHECK(result.ok());
+      seconds.push_back(result.value().stats.seconds);
+      if (sets < 0) {
+        sets = result.value().stats.admissible_sets;
+      } else {
+        MPQOPT_CHECK_EQ(sets, result.value().stats.admissible_sets);
+      }
+    }
+    const double min_s = *std::min_element(seconds.begin(), seconds.end());
+    const double max_s = *std::max_element(seconds.begin(), seconds.end());
+    table.AddRow({std::to_string(qi++), std::to_string(sets),
+                  TablePrinter::FormatMillis(min_s),
+                  TablePrinter::FormatMillis(Median(seconds)),
+                  TablePrinter::FormatMillis(max_s),
+                  TablePrinter::FormatDouble(
+                      min_s > 0 ? max_s / min_s : 0, 2)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace mpqopt
+
+int main() {
+  using namespace mpqopt;
+  const BenchConfig config = BenchConfig::FromEnv(/*default_queries=*/3);
+  Run(PlanSpace::kLinear, 16, 16, config);
+  Run(PlanSpace::kBushy, 12, 8, config);
+  std::printf(
+      "Expected: identical sets/worker across partitions (skew-free by\n"
+      "construction); max/min time close to 1 (small deviations come from\n"
+      "host timing noise, not from workload imbalance).\n");
+  return 0;
+}

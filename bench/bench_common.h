@@ -1,0 +1,93 @@
+// Copyright 2026 mpqopt authors.
+//
+// Shared helpers of the figure/table benchmark binaries. Each binary
+// prints the series of one paper figure or table (see DESIGN.md's
+// per-experiment index and EXPERIMENTS.md for paper-vs-measured).
+//
+// Scaling knobs (environment):
+//   MPQOPT_QUERIES_PER_POINT  queries per data point (paper: 20)
+//   MPQOPT_MAX_WORKERS        cap on the worker sweep
+//   MPQOPT_PAPER_SCALE=1      enable the largest paper query sizes
+//   MPQOPT_SEED               workload seed
+
+#ifndef MPQOPT_BENCH_BENCH_COMMON_H_
+#define MPQOPT_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "catalog/generator.h"
+#include "exp/harness.h"
+#include "mpq/mpq.h"
+#include "sma/sma.h"
+
+namespace mpqopt {
+
+struct BenchConfig {
+  int queries_per_point;
+  uint64_t max_workers;
+  bool paper_scale;
+  uint64_t seed;
+
+  static BenchConfig FromEnv(int default_queries = 3,
+                             uint64_t default_max_workers = 128) {
+    BenchConfig c;
+    c.queries_per_point = static_cast<int>(
+        EnvInt("MPQOPT_QUERIES_PER_POINT", default_queries));
+    c.max_workers = static_cast<uint64_t>(
+        EnvInt("MPQOPT_MAX_WORKERS", static_cast<int64_t>(default_max_workers)));
+    c.paper_scale = EnvInt("MPQOPT_PAPER_SCALE", 0) != 0;
+    c.seed = static_cast<uint64_t>(EnvInt("MPQOPT_SEED", 20160901));
+    return c;
+  }
+};
+
+/// Network model from environment knobs (defaults: the calibrated model
+/// in net/network_model.h). Units: MPQOPT_TASK_SETUP_US and
+/// MPQOPT_LATENCY_US in microseconds, MPQOPT_BANDWIDTH_MBPS in MB/s.
+inline NetworkModel NetworkFromEnv() {
+  NetworkModel model;
+  model.task_setup_s =
+      EnvDouble("MPQOPT_TASK_SETUP_US", model.task_setup_s * 1e6) * 1e-6;
+  model.latency_s =
+      EnvDouble("MPQOPT_LATENCY_US", model.latency_s * 1e6) * 1e-6;
+  model.bandwidth_bytes_per_s =
+      EnvDouble("MPQOPT_BANDWIDTH_MBPS",
+                model.bandwidth_bytes_per_s / 1e6) *
+      1e6;
+  return model;
+}
+
+/// Generates `count` queries of `n` tables with the given shape.
+inline std::vector<Query> MakeQueries(int n, int count, JoinGraphShape shape,
+                                      uint64_t seed) {
+  GeneratorOptions opts;
+  opts.shape = shape;
+  QueryGenerator gen(opts, seed + static_cast<uint64_t>(n) * 1000003);
+  std::vector<Query> queries;
+  queries.reserve(count);
+  for (int i = 0; i < count; ++i) queries.push_back(gen.Generate(n));
+  return queries;
+}
+
+/// Worker counts 1, 2, 4, ..., capped by both `cap` and the maximal
+/// parallelism the algorithm supports for the query size.
+inline std::vector<uint64_t> WorkerSweep(int n, PlanSpace space,
+                                         uint64_t cap,
+                                         uint64_t start = 1) {
+  std::vector<uint64_t> sweep;
+  const uint64_t max_m = std::min(cap, MaxWorkers(n, space));
+  for (uint64_t m = start; m <= max_m; m *= 2) sweep.push_back(m);
+  return sweep;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("==================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==================================================\n");
+}
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,98 @@
+// Copyright 2026 mpqopt authors.
+//
+// Figure 3: the impact of the join-graph structure (chain / star / cycle)
+// on optimization time is negligible, because with cross products allowed
+// the DP examines the same number of intermediate results for a given
+// query size regardless of the graph. Panels: SMA with 8 tables, SMA with
+// 12 tables, MPQ with 12 tables, at 2 / 16 / 128 workers; cells are
+// arithmetic means with 95% confidence intervals, as in the paper.
+
+#include "bench/bench_common.h"
+
+namespace mpqopt {
+namespace {
+
+constexpr JoinGraphShape kShapes[] = {JoinGraphShape::kChain,
+                                      JoinGraphShape::kStar,
+                                      JoinGraphShape::kCycle};
+
+std::string Cell(const std::vector<double>& seconds) {
+  return TablePrinter::FormatMillis(Mean(seconds)) + " ± " +
+         TablePrinter::FormatMillis(ConfidenceInterval95(seconds));
+}
+
+void RunSmaPanel(int tables, const BenchConfig& config) {
+  PrintHeader(("Figure 3 — SMA-" + std::to_string(tables) +
+               " tables, time (ms, mean ± 95% CI)")
+                  .c_str());
+  TablePrinter table({"workers", "chain", "star", "cycle"});
+  for (uint64_t m : {2ull, 16ull, 128ull}) {
+    if (m > config.max_workers) continue;
+    std::vector<std::string> row = {std::to_string(m)};
+    for (JoinGraphShape shape : kShapes) {
+      std::vector<double> seconds;
+      for (const Query& q : MakeQueries(tables, config.queries_per_point,
+                                        shape, config.seed)) {
+        SmaOptions opts;
+        opts.space = PlanSpace::kLinear;
+        opts.num_workers = m;
+        opts.network = NetworkFromEnv();
+        StatusOr<SmaResult> result = SmaOptimize(q, opts);
+        MPQOPT_CHECK(result.ok());
+        seconds.push_back(result.value().simulated_seconds);
+      }
+      row.push_back(Cell(seconds));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void RunMpqPanel(int tables, const BenchConfig& config) {
+  PrintHeader(("Figure 3 — MPQ-" + std::to_string(tables) +
+               " tables, time (ms, mean ± 95% CI)")
+                  .c_str());
+  TablePrinter table({"workers", "chain", "star", "cycle"});
+  for (uint64_t m : {2ull, 16ull, 64ull}) {
+    if (m > std::min(config.max_workers, MaxWorkers(tables,
+                                                    PlanSpace::kLinear))) {
+      continue;
+    }
+    std::vector<std::string> row = {std::to_string(m)};
+    for (JoinGraphShape shape : kShapes) {
+      std::vector<double> seconds;
+      for (const Query& q : MakeQueries(tables, config.queries_per_point,
+                                        shape, config.seed)) {
+        MpqOptions opts;
+        opts.space = PlanSpace::kLinear;
+        opts.num_workers = m;
+        opts.network = NetworkFromEnv();
+        MpqOptimizer mpq(opts);
+        StatusOr<MpqResult> result = mpq.Optimize(q);
+        MPQOPT_CHECK(result.ok());
+        seconds.push_back(result.value().simulated_seconds);
+      }
+      row.push_back(Cell(seconds));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace mpqopt
+
+int main() {
+  using namespace mpqopt;
+  const BenchConfig config = BenchConfig::FromEnv(/*default_queries=*/5);
+  RunSmaPanel(8, config);
+  RunSmaPanel(12, config);
+  RunMpqPanel(12, config);
+  std::printf(
+      "Expected shape (paper): per panel, the three join-graph columns are\n"
+      "statistically indistinguishable — graph structure does not matter\n"
+      "for DP optimizers with cross products enabled.\n");
+  return 0;
+}

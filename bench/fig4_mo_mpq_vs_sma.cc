@@ -1,0 +1,87 @@
+// Copyright 2026 mpqopt authors.
+//
+// Figure 4: multi-objective query optimization (execution time + buffer
+// space, approximate Pareto pruning with alpha = 10), MPQ vs SMA —
+// optimization time and network bytes vs workers, for Linear 10 and
+// Bushy 9. Both algorithms use the same pruning function; MPQ's network
+// traffic is higher than in the single-objective case because each worker
+// returns its whole partition-local Pareto frontier.
+
+#include "bench/bench_common.h"
+
+namespace mpqopt {
+namespace {
+
+struct Panel {
+  const char* name;
+  PlanSpace space;
+  int tables;
+};
+
+void RunPanel(const Panel& panel, const BenchConfig& config) {
+  PrintHeader((std::string("Figure 4 — ") + panel.name +
+               " (two cost metrics, alpha=10)")
+                  .c_str());
+  const std::vector<Query> queries = MakeQueries(
+      panel.tables, config.queries_per_point, JoinGraphShape::kStar,
+      config.seed);
+  TablePrinter table({"workers", "MPQ time (ms)", "MPQ net (B)",
+                      "SMA time (ms)", "SMA net (B)", "frontier"});
+  for (uint64_t m :
+       WorkerSweep(panel.tables, panel.space, config.max_workers)) {
+    std::vector<double> mpq_time, mpq_net, sma_time, sma_net, frontier;
+    for (const Query& q : queries) {
+      MpqOptions mpq_opts;
+      mpq_opts.space = panel.space;
+      mpq_opts.objective = Objective::kTimeAndBuffer;
+      mpq_opts.alpha = 10.0;
+      mpq_opts.num_workers = m;
+      mpq_opts.network = NetworkFromEnv();
+      MpqOptimizer mpq(mpq_opts);
+      StatusOr<MpqResult> mpq_result = mpq.Optimize(q);
+      MPQOPT_CHECK(mpq_result.ok());
+      mpq_time.push_back(mpq_result.value().simulated_seconds);
+      mpq_net.push_back(static_cast<double>(mpq_result.value().network_bytes));
+      frontier.push_back(static_cast<double>(mpq_result.value().best.size()));
+
+      SmaOptions sma_opts;
+      sma_opts.space = panel.space;
+      sma_opts.objective = Objective::kTimeAndBuffer;
+      sma_opts.alpha = 10.0;
+      sma_opts.num_workers = m;
+      sma_opts.network = NetworkFromEnv();
+      StatusOr<SmaResult> sma_result = SmaOptimize(q, sma_opts);
+      MPQOPT_CHECK(sma_result.ok());
+      sma_time.push_back(sma_result.value().simulated_seconds);
+      sma_net.push_back(static_cast<double>(sma_result.value().network_bytes));
+    }
+    table.AddRow(
+        {std::to_string(m), TablePrinter::FormatMillis(Median(mpq_time)),
+         TablePrinter::FormatBytes(Median(mpq_net)),
+         TablePrinter::FormatMillis(Median(sma_time)),
+         TablePrinter::FormatBytes(Median(sma_net)),
+         TablePrinter::FormatCount(Median(frontier))});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace mpqopt
+
+int main() {
+  using namespace mpqopt;
+  const BenchConfig config = BenchConfig::FromEnv();
+  const Panel panels[] = {
+      {"Linear 10", PlanSpace::kLinear, 10},
+      {"Bushy 9", PlanSpace::kBushy, 9},
+  };
+  for (const Panel& panel : panels) RunPanel(panel, config);
+  std::printf(
+      "Expected shape (paper): MPQ beats SMA in time and bytes; SMA\n"
+      "degrades beyond ~8 workers (its maximal useful parallelism), MPQ\n"
+      "keeps scaling up to the number of disjoint table pairs/triples.\n"
+      "Paper reports median frontiers of 21 plans (Linear 12) / 16 plans\n"
+      "(Bushy 9) for complete queries.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Copyright 2026 mpqopt authors.
+//
+// Figure 5: multi-objective MPQ (time + buffer, alpha = 10) on search
+// spaces large enough to exploit high parallelism — total modeled time,
+// W-Time, memory (relations), and network bytes vs workers, for linear
+// plan spaces. The paper scales 16 to 256 workers for Linear 16/18/20 and
+// quotes speedups of 5.1x / 5.5x / 9.4x.
+//
+// Defaults run Linear 16 (and 18 at MPQOPT_PAPER_SCALE=1; 20 is also
+// gated there to keep default runtime in minutes).
+
+#include "bench/bench_common.h"
+
+namespace mpqopt {
+namespace {
+
+void RunPanel(int tables, const BenchConfig& config) {
+  PrintHeader(("Figure 5 — Linear " + std::to_string(tables) +
+               " (two cost metrics, alpha=10)")
+                  .c_str());
+  const std::vector<Query> queries = MakeQueries(
+      tables, config.queries_per_point, JoinGraphShape::kStar, config.seed);
+  TablePrinter table({"workers", "Time (ms)", "W-Time (ms)",
+                      "Memory (relations)", "Network (B)", "speedup"});
+  double single_worker_time = 0;
+  {
+    // Speedup baseline: classical multi-objective optimizer == MPQ with
+    // one worker, counting only worker-side optimization time.
+    std::vector<double> wtime;
+    for (const Query& q : queries) {
+      MpqOptions opts;
+      opts.space = PlanSpace::kLinear;
+      opts.objective = Objective::kTimeAndBuffer;
+      opts.alpha = 10.0;
+      opts.num_workers = 1;
+      opts.network = NetworkFromEnv();
+      MpqOptimizer mpq(opts);
+      StatusOr<MpqResult> result = mpq.Optimize(q);
+      MPQOPT_CHECK(result.ok());
+      wtime.push_back(result.value().max_worker_seconds);
+    }
+    single_worker_time = Median(wtime);
+  }
+  for (uint64_t m : WorkerSweep(tables, PlanSpace::kLinear,
+                                std::min<uint64_t>(config.max_workers, 256),
+                                /*start=*/16)) {
+    std::vector<double> time, wtime, memory, net;
+    for (const Query& q : queries) {
+      MpqOptions opts;
+      opts.space = PlanSpace::kLinear;
+      opts.objective = Objective::kTimeAndBuffer;
+      opts.alpha = 10.0;
+      opts.num_workers = m;
+      opts.network = NetworkFromEnv();
+      MpqOptimizer mpq(opts);
+      StatusOr<MpqResult> result = mpq.Optimize(q);
+      MPQOPT_CHECK(result.ok());
+      time.push_back(result.value().simulated_seconds);
+      wtime.push_back(result.value().max_worker_seconds);
+      memory.push_back(
+          static_cast<double>(result.value().max_worker_memo_sets));
+      net.push_back(static_cast<double>(result.value().network_bytes));
+    }
+    const double median_time = Median(time);
+    table.AddRow({std::to_string(m), TablePrinter::FormatMillis(median_time),
+                  TablePrinter::FormatMillis(Median(wtime)),
+                  TablePrinter::FormatCount(Median(memory)),
+                  TablePrinter::FormatBytes(Median(net)),
+                  TablePrinter::FormatDouble(
+                      median_time > 0 ? single_worker_time / median_time : 0,
+                      2)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace mpqopt
+
+int main() {
+  using namespace mpqopt;
+  const BenchConfig config = BenchConfig::FromEnv(/*default_queries=*/2,
+                                                  /*default_max_workers=*/256);
+  std::vector<int> sizes = {16};
+  if (config.paper_scale) {
+    sizes.push_back(18);
+    sizes.push_back(20);
+  }
+  for (int tables : sizes) RunPanel(tables, config);
+  std::printf(
+      "Expected shape (paper): steady scaling up to 256 workers without\n"
+      "diminishing returns; network bytes higher than single-objective\n"
+      "because whole Pareto frontiers are returned; speedups 5.1x (16\n"
+      "tables) to 9.4x (20 tables) at the maximal worker count.\n");
+  return 0;
+}

@@ -1,0 +1,190 @@
+// Copyright 2026 mpqopt authors.
+//
+// Microbenchmarks (google-benchmark) of the hot optimizer components:
+// table-set operations, partition-index rank lookups, admissible-set and
+// split enumeration, cardinality estimation, Pareto insertion, and
+// message serialization.
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/generator.h"
+#include "common/rng.h"
+#include "cost/cardinality.h"
+#include "mpq/mpq.h"
+#include "optimizer/pruning.h"
+#include "partition/partition_index.h"
+#include "plan/plan_serde.h"
+
+namespace mpqopt {
+namespace {
+
+Query TestQuery(int n) {
+  GeneratorOptions opts;
+  opts.shape = JoinGraphShape::kStar;
+  QueryGenerator gen(opts, 7);
+  return gen.Generate(n);
+}
+
+ConstraintSet TestConstraints(int n, PlanSpace space, int l) {
+  StatusOr<ConstraintSet> c =
+      ConstraintSet::FromPartitionId(n, space, 0, uint64_t{1} << l);
+  MPQOPT_CHECK(c.ok());
+  return std::move(c).value();
+}
+
+void BM_TableSetIteration(benchmark::State& state) {
+  const TableSet s(0x5a5a5a5a5a5a5a5aULL);
+  for (auto _ : state) {
+    int sum = 0;
+    for (int t : s) sum += t;
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_TableSetIteration);
+
+void BM_SubsetEnumeration(benchmark::State& state) {
+  const TableSet s = TableSet::AllTables(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    SubsetEnumerator it(s);
+    int64_t count = 0;
+    while (it.Next()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_SubsetEnumeration)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_PartitionIndexRank(benchmark::State& state) {
+  const int n = 20;
+  const PartitionIndex idx(
+      n, TestConstraints(n, PlanSpace::kLinear,
+                         static_cast<int>(state.range(0))));
+  Rng rng(5);
+  std::vector<TableSet> probes;
+  for (int i = 0; i < 1024; ++i) {
+    probes.push_back(
+        TableSet(rng.NextUint64() & ((uint64_t{1} << n) - 1)));
+  }
+  for (auto _ : state) {
+    int64_t acc = 0;
+    for (const TableSet s : probes) acc += idx.Rank(s);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * probes.size());
+}
+BENCHMARK(BM_PartitionIndexRank)->Arg(0)->Arg(5)->Arg(10);
+
+void BM_EnumerateAdmissibleSets(benchmark::State& state) {
+  const int n = 18;
+  const PartitionIndex idx(
+      n, TestConstraints(n, PlanSpace::kLinear,
+                         static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    int64_t count = 0;
+    for (int k = 2; k <= n; ++k) {
+      idx.ForEachSetOfCard(k, [&](TableSet, int64_t) { ++count; });
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_EnumerateAdmissibleSets)->Arg(0)->Arg(4)->Arg(8);
+
+void BM_BushySplitGeneration(benchmark::State& state) {
+  const int n = 12;
+  const PartitionIndex idx(
+      n, TestConstraints(n, PlanSpace::kBushy,
+                         static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    int64_t count = 0;
+    for (int k = 2; k <= n; ++k) {
+      idx.ForEachSetOfCard(k, [&](TableSet u, int64_t) {
+        idx.ForEachSplit(u, [&](TableSet, int64_t, int64_t) { ++count; });
+      });
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_BushySplitGeneration)->Arg(0)->Arg(2)->Arg(4);
+
+void BM_CardinalityEstimation(benchmark::State& state) {
+  const Query q = TestQuery(20);
+  const CardinalityEstimator est(q);
+  Rng rng(9);
+  std::vector<TableSet> probes;
+  for (int i = 0; i < 256; ++i) {
+    const uint64_t bits = rng.NextUint64() & ((uint64_t{1} << 20) - 1);
+    probes.push_back(TableSet(bits == 0 ? 1 : bits));
+  }
+  for (auto _ : state) {
+    double acc = 0;
+    for (const TableSet s : probes) acc += est.Cardinality(s);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * probes.size());
+}
+BENCHMARK(BM_CardinalityEstimation);
+
+void BM_ParetoInsert(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<CostVector> points;
+  for (int i = 0; i < 512; ++i) {
+    points.push_back(CostVector::TimeBuffer(rng.UniformDouble() * 1e6 + 1,
+                                            rng.UniformDouble() * 1e6 + 1));
+  }
+  const auto identity = [](const CostVector& c) -> const CostVector& {
+    return c;
+  };
+  const double alpha = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    std::vector<CostVector> frontier;
+    for (const CostVector& c : points) {
+      ParetoInsert(&frontier, c, identity, alpha);
+    }
+    benchmark::DoNotOptimize(frontier.size());
+  }
+  state.SetItemsProcessed(state.iterations() * points.size());
+}
+BENCHMARK(BM_ParetoInsert)->Arg(1)->Arg(10);
+
+void BM_QuerySerialization(benchmark::State& state) {
+  const Query q = TestQuery(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ByteWriter w;
+    q.Serialize(&w);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_QuerySerialization)->Arg(8)->Arg(24);
+
+void BM_RequestBuildAndWorkerDecode(benchmark::State& state) {
+  const Query q = TestQuery(10);
+  MpqOptions opts;
+  opts.space = PlanSpace::kLinear;
+  opts.num_workers = 4;
+  for (auto _ : state) {
+    const std::vector<uint8_t> request =
+        MpqOptimizer::BuildRequest(q, 1, opts);
+    benchmark::DoNotOptimize(request.size());
+  }
+}
+BENCHMARK(BM_RequestBuildAndWorkerDecode);
+
+void BM_WorkerFullOptimization(benchmark::State& state) {
+  // End-to-end worker task: decode + constrained DP + encode.
+  const Query q = TestQuery(static_cast<int>(state.range(0)));
+  MpqOptions opts;
+  opts.space = PlanSpace::kLinear;
+  opts.num_workers = 16;
+  const std::vector<uint8_t> request = MpqOptimizer::BuildRequest(q, 3, opts);
+  for (auto _ : state) {
+    StatusOr<std::vector<uint8_t>> response =
+        MpqOptimizer::WorkerMain(request);
+    MPQOPT_CHECK(response.ok());
+    benchmark::DoNotOptimize(response.value().size());
+  }
+}
+BENCHMARK(BM_WorkerFullOptimization)->Arg(10)->Arg(14);
+
+}  // namespace
+}  // namespace mpqopt
+
+BENCHMARK_MAIN();

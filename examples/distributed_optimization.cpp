@@ -1,0 +1,67 @@
+// Copyright 2026 mpqopt authors.
+//
+// Distributed optimization on the simulated shared-nothing cluster: the
+// scenario of the paper's introduction — a query that takes long to
+// optimize on a single node, parallelized over the same cluster that will
+// later execute it. Shows the one-round master/worker protocol, the
+// modeled cluster time, per-worker times, memo sizes, and network bytes
+// for increasing worker counts.
+
+#include <cstdio>
+
+#include "catalog/generator.h"
+#include "mpq/mpq.h"
+#include "plan/plan.h"
+
+using namespace mpqopt;
+
+int main() {
+  // A 16-table star-schema query generated with the Steinbrunn et al.
+  // benchmark distribution used throughout the paper's evaluation.
+  GeneratorOptions gen_opts;
+  gen_opts.shape = JoinGraphShape::kStar;
+  QueryGenerator generator(gen_opts, /*seed=*/2016);
+  const Query query = generator.Generate(16);
+
+  std::printf("Optimizing a 16-table star query over a simulated cluster\n");
+  std::printf("(1 GbE cluster model calibrated to the paper, see net/network_model.h)\n\n");
+  std::printf("%8s %12s %12s %14s %12s %10s\n", "workers", "time(ms)",
+              "W-time(ms)", "memo(sets)", "net(bytes)", "speedup");
+
+  double baseline = 0;
+  for (uint64_t m = 1; m <= UsableWorkers(16, PlanSpace::kLinear, 256);
+       m *= 4) {
+    MpqOptions opts;
+    opts.space = PlanSpace::kLinear;
+    opts.num_workers = m;
+    MpqOptimizer mpq(opts);
+    StatusOr<MpqResult> result = mpq.Optimize(query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "optimization failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const MpqResult& r = result.value();
+    if (m == 1) baseline = r.max_worker_seconds;
+    std::printf("%8llu %12.2f %12.2f %14lld %12llu %9.2fx\n",
+                static_cast<unsigned long long>(m),
+                r.simulated_seconds * 1e3, r.max_worker_seconds * 1e3,
+                static_cast<long long>(r.max_worker_memo_sets),
+                static_cast<unsigned long long>(r.network_bytes),
+                r.simulated_seconds > 0
+                    ? baseline / r.simulated_seconds
+                    : 0.0);
+    if (m == UsableWorkers(16, PlanSpace::kLinear, 256)) {
+      std::printf("\nbest plan: %s\n",
+                  PlanToString(r.arena, r.best[0]).c_str());
+      std::printf("est. cost: %.0f work units\n",
+                  r.arena.node(r.best[0]).cost.time());
+    }
+  }
+  std::printf(
+      "\nEvery worker returned the optimum of its own plan-space\n"
+      "partition after a single request/response round; the master only\n"
+      "compared %s-returned plans (no memo sharing, no extra rounds).\n",
+      "worker");
+  return 0;
+}

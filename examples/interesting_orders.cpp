@@ -1,0 +1,75 @@
+// Copyright 2026 mpqopt authors.
+//
+// Interesting orders: the classical Selinger refinement, here combined
+// with MPQ's plan-space partitioning (the extension direction the paper
+// sketches in Section 5.4). A chain query joining on one shared attribute
+// class rewards plans that sort once and merge repeatedly; the
+// order-aware optimizer finds them, the order-blind one cannot.
+
+#include <cstdio>
+
+#include "mpq/mpq.h"
+#include "optimizer/dp.h"
+#include "optimizer/orders.h"
+#include "plan/plan.h"
+
+using namespace mpqopt;
+
+int main() {
+  // Five large tables chained on the same attribute class:
+  // R0.a = R1.a = R2.a = R3.a = R4.a (transitively merged).
+  std::vector<TableInfo> tables(5);
+  for (int i = 0; i < 5; ++i) {
+    tables[i].cardinality = 50000;
+    tables[i].attribute_domains = {50.0};
+    tables[i].name = "R" + std::to_string(i);
+  }
+  std::vector<JoinPredicate> predicates;
+  for (int i = 0; i + 1 < 5; ++i) {
+    predicates.push_back({i, 0, i + 1, 0, 1.0 / 50.0});
+  }
+  const Query query(std::move(tables), std::move(predicates));
+
+  const OrderClasses orders(query);
+  std::printf("order classes in this query: %d ", orders.num_classes());
+  std::printf("(all five join attributes share class %d)\n\n",
+              orders.ClassOf(0, 0));
+
+  for (const bool io : {false, true}) {
+    DpConfig config;
+    config.space = PlanSpace::kBushy;
+    config.interesting_orders = io;
+    StatusOr<DpResult> result = OptimizeSerial(query, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "optimization failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const DpResult& dp = result.value();
+    std::printf("%s optimizer:\n", io ? "order-aware" : "order-blind");
+    std::printf("  plan  %s\n", PlanToString(dp.arena, dp.best[0]).c_str());
+    std::printf("  cost  %.0f work units\n\n",
+                dp.arena.node(dp.best[0]).cost.time());
+  }
+
+  // The same extension runs distributed, unchanged: partitioning
+  // constrains table sets, orders refine plan properties — orthogonal.
+  MpqOptions opts;
+  opts.space = PlanSpace::kBushy;
+  opts.interesting_orders = true;
+  opts.num_workers = UsableWorkers(5, PlanSpace::kBushy, 64);
+  MpqOptimizer mpq(opts);
+  StatusOr<MpqResult> result = mpq.Optimize(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "MPQ failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "MPQ with %llu workers and interesting orders finds the same "
+      "optimum:\n  cost  %.0f work units, %llu bytes on the wire\n",
+      static_cast<unsigned long long>(opts.num_workers),
+      result.value().arena.node(result.value().best[0]).cost.time(),
+      static_cast<unsigned long long>(result.value().network_bytes));
+  return 0;
+}

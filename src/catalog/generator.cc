@@ -1,0 +1,79 @@
+// Copyright 2026 mpqopt authors.
+
+#include "catalog/generator.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mpqopt {
+namespace {
+
+/// Edges of the join graph for the requested shape over n tables.
+std::vector<std::pair<int, int>> GraphEdges(JoinGraphShape shape, int n) {
+  std::vector<std::pair<int, int>> edges;
+  switch (shape) {
+    case JoinGraphShape::kChain:
+      for (int i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+      break;
+    case JoinGraphShape::kStar:
+      // Table 0 is the fact table; all others are dimensions.
+      for (int i = 1; i < n; ++i) edges.emplace_back(0, i);
+      break;
+    case JoinGraphShape::kCycle:
+      for (int i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+      if (n > 2) edges.emplace_back(n - 1, 0);
+      break;
+    case JoinGraphShape::kClique:
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+      }
+      break;
+  }
+  return edges;
+}
+
+}  // namespace
+
+Query QueryGenerator::Generate(int num_tables) {
+  MPQOPT_CHECK_GE(num_tables, 1);
+  MPQOPT_CHECK_LE(num_tables, kMaxTables);
+
+  std::vector<TableInfo> tables(num_tables);
+  for (int i = 0; i < num_tables; ++i) {
+    TableInfo& t = tables[i];
+    t.cardinality = static_cast<double>(
+        rng_.LogUniformInt(options_.min_cardinality, options_.max_cardinality));
+    t.name = "R" + std::to_string(i);
+    t.attribute_domains.resize(options_.attributes_per_table);
+    for (double& d : t.attribute_domains) {
+      const int64_t max_domain =
+          std::max<int64_t>(options_.min_domain,
+                            static_cast<int64_t>(t.cardinality));
+      d = static_cast<double>(
+          rng_.LogUniformInt(options_.min_domain, max_domain));
+    }
+  }
+
+  std::vector<JoinPredicate> predicates;
+  for (const auto& [a, b] : GraphEdges(options_.shape, num_tables)) {
+    JoinPredicate p;
+    p.left_table = a;
+    p.right_table = b;
+    p.left_attribute = static_cast<int>(
+        rng_.UniformInt(0, options_.attributes_per_table - 1));
+    p.right_attribute = static_cast<int>(
+        rng_.UniformInt(0, options_.attributes_per_table - 1));
+    const double dl = tables[a].attribute_domains[p.left_attribute];
+    const double dr = tables[b].attribute_domains[p.right_attribute];
+    p.selectivity = 1.0 / std::max(dl, dr);
+    predicates.push_back(p);
+  }
+
+  Query query(std::move(tables), std::move(predicates));
+  MPQOPT_CHECK(query.Validate().ok());
+  return query;
+}
+
+}  // namespace mpqopt

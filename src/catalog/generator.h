@@ -1,0 +1,54 @@
+// Copyright 2026 mpqopt authors.
+//
+// Random query generation following the method of Steinbrunn, Moerkotte,
+// and Kemper (VLDBJ 6(3), 1997), which the paper uses for all experiments:
+// relation cardinalities and attribute domain sizes are drawn from fixed
+// ranges, join predicates are equalities whose selectivity is
+// 1 / max(domain(a), domain(b)), and the join graph is chain-, star-,
+// cycle-, or clique-shaped. Cross products are permitted during
+// optimization regardless of the shape (paper Section 6.1).
+
+#ifndef MPQOPT_CATALOG_GENERATOR_H_
+#define MPQOPT_CATALOG_GENERATOR_H_
+
+#include <cstdint>
+
+#include "catalog/query.h"
+#include "common/rng.h"
+
+namespace mpqopt {
+
+/// Parameters of the Steinbrunn et al. workload distribution.
+struct GeneratorOptions {
+  /// Relation cardinality range; drawn log-uniformly (each decade equally
+  /// likely), matching common usage of the benchmark.
+  int64_t min_cardinality = 10;
+  int64_t max_cardinality = 100000;
+  /// Attribute domain sizes are drawn log-uniformly from
+  /// [min_domain, cardinality] — a domain cannot exceed the table size.
+  int64_t min_domain = 2;
+  /// Number of join attributes per table.
+  int attributes_per_table = 2;
+  /// Join graph shape.
+  JoinGraphShape shape = JoinGraphShape::kStar;
+};
+
+/// Deterministic generator of benchmark queries. The same (options, seed,
+/// num_tables, query_index) always produces the same query on every
+/// platform, which the benchmark harness relies on.
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(GeneratorOptions options, uint64_t seed)
+      : options_(options), rng_(seed) {}
+
+  /// Generates the next random query with `num_tables` tables.
+  Query Generate(int num_tables);
+
+ private:
+  GeneratorOptions options_;
+  Rng rng_;
+};
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_CATALOG_GENERATOR_H_

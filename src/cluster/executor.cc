@@ -1,0 +1,87 @@
+// Copyright 2026 mpqopt authors.
+
+#include "cluster/executor.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace mpqopt {
+
+ClusterExecutor::ClusterExecutor(NetworkModel model, int max_threads)
+    : model_(model), max_threads_(max_threads) {
+  if (max_threads_ <= 0) {
+    max_threads_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (max_threads_ <= 0) max_threads_ = 1;
+  }
+}
+
+StatusOr<RoundResult> ClusterExecutor::RunRound(
+    const std::vector<WorkerTask>& tasks,
+    const std::vector<std::vector<uint8_t>>& requests) {
+  MPQOPT_CHECK_EQ(tasks.size(), requests.size());
+  const size_t num_tasks = tasks.size();
+  RoundResult result;
+  result.responses.resize(num_tasks);
+  result.compute_seconds.assign(num_tasks, 0.0);
+
+  std::mutex error_mutex;
+  Status first_error = Status::OK();
+  std::atomic<size_t> next_task{0};
+
+  const auto round_start = std::chrono::steady_clock::now();
+  const auto run_tasks = [&]() {
+    while (true) {
+      const size_t i = next_task.fetch_add(1);
+      if (i >= num_tasks) return;
+      const auto start = std::chrono::steady_clock::now();
+      StatusOr<std::vector<uint8_t>> response = tasks[i](requests[i]);
+      const auto end = std::chrono::steady_clock::now();
+      result.compute_seconds[i] =
+          std::chrono::duration<double>(end - start).count();
+      if (!response.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = response.status();
+        return;
+      }
+      result.responses[i] = std::move(response).value();
+    }
+  };
+
+  const int threads =
+      static_cast<int>(num_tasks < static_cast<size_t>(max_threads_)
+                           ? num_tasks
+                           : static_cast<size_t>(max_threads_));
+  if (threads <= 1) {
+    run_tasks();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int i = 0; i < threads; ++i) pool.emplace_back(run_tasks);
+    for (std::thread& t : pool) t.join();
+  }
+  const auto round_end = std::chrono::steady_clock::now();
+  result.wall_seconds =
+      std::chrono::duration<double>(round_end - round_start).count();
+  if (!first_error.ok()) return first_error;
+
+  // Modeled cluster time: the master dispatches all tasks (setup cost per
+  // task, serially on the master), every worker then runs in parallel on
+  // its own node, and the round completes when the slowest worker's
+  // response has arrived back at the master.
+  double slowest = 0;
+  for (size_t i = 0; i < num_tasks; ++i) {
+    result.traffic.Record(requests[i].size());
+    result.traffic.Record(result.responses[i].size());
+    const double worker_total = model_.TransferTime(requests[i].size()) +
+                                result.compute_seconds[i] +
+                                model_.TransferTime(result.responses[i].size());
+    if (worker_total > slowest) slowest = worker_total;
+  }
+  result.simulated_seconds =
+      static_cast<double>(num_tasks) * model_.task_setup_s + slowest;
+  return result;
+}
+
+}  // namespace mpqopt

@@ -1,0 +1,70 @@
+// Copyright 2026 mpqopt authors.
+//
+// Shared-nothing cluster runtime. Worker tasks are self-contained
+// functions from request bytes to response bytes — exactly the contract a
+// remote executor would have. Tasks never touch shared optimizer state;
+// the only inter-node channel is the serialized messages.
+//
+// Execution happens on a local thread pool (one worker task at a time per
+// hardware thread). Each task's compute time is measured individually, so
+// the runtime can report
+//  * measured wall-clock time of the whole round, and
+//  * modeled cluster time: what the round would take with one physical
+//    node per task, i.e. dispatch overheads + max over workers of
+//    (request transfer + compute + response transfer).
+// The modeled time is what the paper's "Time (ms)" axes correspond to;
+// measured per-worker compute ("W-Time") is reported alongside, as in
+// Figure 2.
+
+#ifndef MPQOPT_CLUSTER_EXECUTOR_H_
+#define MPQOPT_CLUSTER_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "net/network_model.h"
+
+namespace mpqopt {
+
+/// A worker task: consumes a request payload, returns a response payload.
+using WorkerTask =
+    std::function<StatusOr<std::vector<uint8_t>>(const std::vector<uint8_t>&)>;
+
+/// Result of executing one round of tasks.
+struct RoundResult {
+  /// Response payload per task, in task order.
+  std::vector<std::vector<uint8_t>> responses;
+  /// Measured compute seconds per task (excludes transfers).
+  std::vector<double> compute_seconds;
+  /// Modeled cluster completion time of the round (see header comment).
+  double simulated_seconds = 0;
+  /// Measured wall-clock seconds for the whole round on this host.
+  double wall_seconds = 0;
+  /// Bytes and messages that crossed the simulated network this round.
+  TrafficStats traffic;
+};
+
+/// Executes rounds of independent worker tasks.
+class ClusterExecutor {
+ public:
+  /// `max_threads` caps host-side concurrency (0 = hardware concurrency).
+  explicit ClusterExecutor(NetworkModel model, int max_threads = 0);
+
+  /// Runs one round: task i receives requests[i]. Returns an error if any
+  /// task fails (first failure wins).
+  StatusOr<RoundResult> RunRound(const std::vector<WorkerTask>& tasks,
+                                 const std::vector<std::vector<uint8_t>>&
+                                     requests);
+
+  const NetworkModel& network() const { return model_; }
+
+ private:
+  NetworkModel model_;
+  int max_threads_;
+};
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_CLUSTER_EXECUTOR_H_

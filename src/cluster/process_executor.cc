@@ -1,0 +1,142 @@
+// Copyright 2026 mpqopt authors.
+
+#include "cluster/process_executor.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+namespace mpqopt {
+namespace {
+
+/// Child -> parent wire format on the pipe:
+///   u8  ok flag (1 = success)
+///   f64 compute seconds measured inside the child
+///   u64 payload length, then the payload (response or error message).
+struct ReplyHeader {
+  uint8_t ok;
+  double seconds;
+  uint64_t length;
+};
+
+bool WriteAll(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w <= 0) return false;
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+bool ReadAll(int fd, void* data, size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r <= 0) return false;
+    p += r;
+    n -= static_cast<size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<RoundResult> ProcessExecutor::RunRound(
+    const std::vector<WorkerTask>& tasks,
+    const std::vector<std::vector<uint8_t>>& requests) {
+  MPQOPT_CHECK_EQ(tasks.size(), requests.size());
+  const size_t num_tasks = tasks.size();
+  RoundResult result;
+  result.responses.resize(num_tasks);
+  result.compute_seconds.assign(num_tasks, 0.0);
+
+  const auto round_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < num_tasks; ++i) {
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+      return Status::Internal("pipe() failed");
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(pipe_fds[0]);
+      ::close(pipe_fds[1]);
+      return Status::Internal("fork() failed");
+    }
+    if (pid == 0) {
+      // Child: private copy-on-write address space. Run the task, ship
+      // the reply through the pipe, and exit without running any parent
+      // cleanup (_exit, not exit).
+      ::close(pipe_fds[0]);
+      const auto start = std::chrono::steady_clock::now();
+      StatusOr<std::vector<uint8_t>> response = tasks[i](requests[i]);
+      const auto end = std::chrono::steady_clock::now();
+      ReplyHeader header;
+      header.ok = response.ok() ? 1 : 0;
+      header.seconds = std::chrono::duration<double>(end - start).count();
+      std::vector<uint8_t> payload;
+      if (response.ok()) {
+        payload = std::move(response).value();
+      } else {
+        const std::string msg = response.status().ToString();
+        payload.assign(msg.begin(), msg.end());
+      }
+      header.length = payload.size();
+      bool ok = WriteAll(pipe_fds[1], &header, sizeof(header));
+      if (ok && !payload.empty()) {
+        ok = WriteAll(pipe_fds[1], payload.data(), payload.size());
+      }
+      ::close(pipe_fds[1]);
+      ::_exit(ok ? 0 : 1);
+    }
+    // Parent: read the reply, reap the child.
+    ::close(pipe_fds[1]);
+    ReplyHeader header;
+    const bool header_ok = ReadAll(pipe_fds[0], &header, sizeof(header));
+    std::vector<uint8_t> payload;
+    bool payload_ok = header_ok;
+    if (header_ok && header.length > 0) {
+      if (header.length > (uint64_t{1} << 32)) {
+        payload_ok = false;
+      } else {
+        payload.resize(header.length);
+        payload_ok = ReadAll(pipe_fds[0], payload.data(), payload.size());
+      }
+    }
+    ::close(pipe_fds[0]);
+    int wstatus = 0;
+    ::waitpid(pid, &wstatus, 0);
+    if (!header_ok || !payload_ok) {
+      return Status::Internal("worker process died before replying");
+    }
+    if (header.ok == 0) {
+      return Status::Internal(
+          "worker process failed: " +
+          std::string(payload.begin(), payload.end()));
+    }
+    result.compute_seconds[i] = header.seconds;
+    result.responses[i] = std::move(payload);
+  }
+  const auto round_end = std::chrono::steady_clock::now();
+  result.wall_seconds =
+      std::chrono::duration<double>(round_end - round_start).count();
+
+  // Identical modeled-time accounting as the thread executor.
+  double slowest = 0;
+  for (size_t i = 0; i < num_tasks; ++i) {
+    result.traffic.Record(requests[i].size());
+    result.traffic.Record(result.responses[i].size());
+    const double worker_total = model_.TransferTime(requests[i].size()) +
+                                result.compute_seconds[i] +
+                                model_.TransferTime(result.responses[i].size());
+    if (worker_total > slowest) slowest = worker_total;
+  }
+  result.simulated_seconds =
+      static_cast<double>(num_tasks) * model_.task_setup_s + slowest;
+  return result;
+}
+
+}  // namespace mpqopt

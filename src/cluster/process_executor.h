@@ -1,0 +1,43 @@
+// Copyright 2026 mpqopt authors.
+//
+// Process-based shared-nothing execution: each worker task runs in its
+// own forked OS process and the ONLY channel back to the master is a
+// pipe carrying the serialized response. This is the strictest
+// single-machine approximation of the paper's cluster — worker memory is
+// genuinely private (copy-on-write after fork; nothing written by a
+// worker is visible to the master or to other workers), so any hidden
+// reliance on shared optimizer state would break here.
+//
+// The thread-based ClusterExecutor remains the default (cheaper, easier
+// to debug); MpqOptions::execution_mode selects between them. Both
+// produce identical results and identical byte counts — a property the
+// integration tests assert.
+
+#ifndef MPQOPT_CLUSTER_PROCESS_EXECUTOR_H_
+#define MPQOPT_CLUSTER_PROCESS_EXECUTOR_H_
+
+#include "cluster/executor.h"
+
+namespace mpqopt {
+
+/// Runs rounds of worker tasks in forked child processes.
+class ProcessExecutor {
+ public:
+  explicit ProcessExecutor(NetworkModel model) : model_(model) {}
+
+  /// Runs one round; task i is executed in its own child process with
+  /// requests[i]. Children run sequentially (fork, execute, reap) so
+  /// per-task compute timing stays unpolluted on oversubscribed hosts.
+  StatusOr<RoundResult> RunRound(const std::vector<WorkerTask>& tasks,
+                                 const std::vector<std::vector<uint8_t>>&
+                                     requests);
+
+  const NetworkModel& network() const { return model_; }
+
+ private:
+  NetworkModel model_;
+};
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_CLUSTER_PROCESS_EXECUTOR_H_

@@ -1,0 +1,52 @@
+// Copyright 2026 mpqopt authors.
+//
+// Lightweight invariant-checking macros in the style used by most database
+// engines (LevelDB/RocksDB/Arrow): CHECK-style assertions abort with a
+// readable message; DCHECK compiles out in release builds.
+
+#ifndef MPQOPT_COMMON_MACROS_H_
+#define MPQOPT_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mpqopt {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace mpqopt
+
+#define MPQOPT_CHECK(expr)                                     \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::mpqopt::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                          \
+  } while (0)
+
+#define MPQOPT_CHECK_EQ(a, b) MPQOPT_CHECK((a) == (b))
+#define MPQOPT_CHECK_NE(a, b) MPQOPT_CHECK((a) != (b))
+#define MPQOPT_CHECK_LT(a, b) MPQOPT_CHECK((a) < (b))
+#define MPQOPT_CHECK_LE(a, b) MPQOPT_CHECK((a) <= (b))
+#define MPQOPT_CHECK_GT(a, b) MPQOPT_CHECK((a) > (b))
+#define MPQOPT_CHECK_GE(a, b) MPQOPT_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define MPQOPT_DCHECK(expr) MPQOPT_CHECK(expr)
+#else
+#define MPQOPT_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#endif
+
+// Disallow copy/assign, for classes managing unique resources.
+#define MPQOPT_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;             \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // MPQOPT_COMMON_MACROS_H_

@@ -1,0 +1,41 @@
+// Copyright 2026 mpqopt authors.
+//
+// Small integer-math helpers shared by the partitioning logic and the
+// complexity-analysis helpers (paper Section 5).
+
+#ifndef MPQOPT_COMMON_MATH_UTIL_H_
+#define MPQOPT_COMMON_MATH_UTIL_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace mpqopt {
+
+/// True iff v is a power of two (and nonzero).
+constexpr bool IsPowerOfTwo(uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// floor(log2(v)). Requires v >= 1.
+constexpr int FloorLog2(uint64_t v) {
+  return 63 - std::countl_zero(v);
+}
+
+/// Largest power of two that is <= v. Requires v >= 1.
+constexpr uint64_t FloorPowerOfTwo(uint64_t v) {
+  return uint64_t{1} << FloorLog2(v);
+}
+
+/// Integer exponentiation base^exp (no overflow checking; callers use small
+/// arguments such as 3^n for n <= 20).
+constexpr uint64_t IPow(uint64_t base, int exp) {
+  uint64_t result = 1;
+  for (int i = 0; i < exp; ++i) result *= base;
+  return result;
+}
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_COMMON_MATH_UTIL_H_

@@ -1,0 +1,85 @@
+// Copyright 2026 mpqopt authors.
+//
+// Deterministic pseudo-random number generation for workload synthesis.
+// We use xoshiro256** (public domain, Blackman & Vigna) instead of
+// std::mt19937 so that generated workloads are reproducible across standard
+// library implementations — benchmark queries must be identical on every
+// platform for EXPERIMENTS.md numbers to be comparable.
+
+#ifndef MPQOPT_COMMON_RNG_H_
+#define MPQOPT_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace mpqopt {
+
+/// xoshiro256** generator with SplitMix64 seeding.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 to expand the seed into four state words.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    MPQOPT_DCHECK(lo <= hi);
+    const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    // Modulo bias is negligible for the small ranges used in workload
+    // generation (range << 2^64).
+    return lo + static_cast<int64_t>(NextUint64() % range);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Log-uniform integer in [lo, hi]: exponent drawn uniformly. This is the
+  /// distribution Steinbrunn et al. use for relation cardinalities so that
+  /// small and large tables are equally likely per decade.
+  int64_t LogUniformInt(int64_t lo, int64_t hi) {
+    MPQOPT_DCHECK(lo >= 1 && lo <= hi);
+    const double log_lo = std::log(static_cast<double>(lo));
+    const double log_hi = std::log(static_cast<double>(hi) + 1.0);
+    const double v = std::exp(log_lo + UniformDouble() * (log_hi - log_lo));
+    int64_t out = static_cast<int64_t>(v);
+    if (out < lo) out = lo;
+    if (out > hi) out = hi;
+    return out;
+  }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_COMMON_RNG_H_

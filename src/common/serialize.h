@@ -1,0 +1,105 @@
+// Copyright 2026 mpqopt authors.
+//
+// Byte-exact binary serialization used by the simulated network layer.
+// Every message exchanged between the MPQ/SMA master and the workers is
+// actually encoded through these writers/readers, so the "network bytes"
+// reported by the benchmarks are real payload sizes, not estimates
+// (mirroring the paper, which serialized Java objects over the wire).
+//
+// Encoding: little-endian fixed-width integers, IEEE-754 doubles, and
+// varint-style unsigned counts are deliberately avoided — fixed widths keep
+// the byte accounting easy to reason about in tests.
+
+#ifndef MPQOPT_COMMON_SERIALIZE_H_
+#define MPQOPT_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mpqopt {
+
+/// Append-only binary encoder.
+class ByteWriter {
+ public:
+  void WriteU8(uint8_t v) { buffer_.push_back(v); }
+
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+
+  void WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+
+  void WriteString(const std::string& s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    WriteRaw(s.data(), s.size());
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> Release() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  void WriteRaw(const void* data, size_t n) {
+    const size_t old = buffer_.size();
+    buffer_.resize(old + n);
+    std::memcpy(buffer_.data() + old, data, n);
+  }
+
+  std::vector<uint8_t> buffer_;
+};
+
+/// Sequential binary decoder with bounds checking. Decoding failures
+/// surface as Status::Corruption rather than undefined behaviour so that a
+/// malformed message from a (simulated) remote node cannot crash the master.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size), pos_(0) {}
+  explicit ByteReader(const std::vector<uint8_t>& buffer)
+      : ByteReader(buffer.data(), buffer.size()) {}
+
+  Status ReadU8(uint8_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadU32(uint32_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadU64(uint64_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadI64(int64_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadDouble(double* out) { return ReadRaw(out, sizeof(*out)); }
+
+  Status ReadString(std::string* out) {
+    uint32_t n = 0;
+    Status s = ReadU32(&n);
+    if (!s.ok()) return s;
+    if (pos_ + n > size_) {
+      return Status::Corruption("string length exceeds buffer");
+    }
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status ReadRaw(void* out, size_t n) {
+    if (pos_ + n > size_) {
+      return Status::Corruption("read past end of buffer");
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_;
+};
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_COMMON_SERIALIZE_H_

@@ -1,0 +1,102 @@
+// Copyright 2026 mpqopt authors.
+//
+// Minimal Status / StatusOr error-propagation types, following the
+// RocksDB/Arrow convention of returning rich status objects instead of
+// throwing exceptions across library boundaries.
+
+#ifndef MPQOPT_COMMON_STATUS_H_
+#define MPQOPT_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace mpqopt {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kCorruption,      ///< malformed serialized payload
+  kUnimplemented,
+  kInternal,
+};
+
+/// Result of an operation that can fail. Cheap to copy when OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string for logs and tests.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirror absl::StatusOr.
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {
+    MPQOPT_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    MPQOPT_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    MPQOPT_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    MPQOPT_CHECK(ok());
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_COMMON_STATUS_H_

@@ -1,0 +1,170 @@
+// Copyright 2026 mpqopt authors.
+//
+// TableSet: a set of query tables represented as a 64-bit bitset. Table
+// indices are dense, 0-based positions within one query (the paper's Q_x
+// notation). All hot optimizer loops operate on this type, so everything is
+// constexpr-friendly, branch-light, and allocation-free.
+
+#ifndef MPQOPT_COMMON_TABLE_SET_H_
+#define MPQOPT_COMMON_TABLE_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "common/macros.h"
+
+namespace mpqopt {
+
+/// Maximum number of tables per query supported by the bitset encoding.
+inline constexpr int kMaxTables = 64;
+
+/// A set of query-table indices backed by one uint64_t.
+class TableSet {
+ public:
+  constexpr TableSet() : bits_(0) {}
+  constexpr explicit TableSet(uint64_t bits) : bits_(bits) {}
+
+  /// The empty set.
+  static constexpr TableSet Empty() { return TableSet(0); }
+
+  /// The singleton set {table}.
+  static constexpr TableSet Single(int table) {
+    return TableSet(uint64_t{1} << table);
+  }
+
+  /// The set {0, 1, ..., n - 1} of all tables of an n-table query.
+  static constexpr TableSet AllTables(int n) {
+    return n >= kMaxTables ? TableSet(~uint64_t{0})
+                           : TableSet((uint64_t{1} << n) - 1);
+  }
+
+  constexpr uint64_t bits() const { return bits_; }
+  constexpr bool IsEmpty() const { return bits_ == 0; }
+  constexpr int Count() const { return std::popcount(bits_); }
+
+  constexpr bool Contains(int table) const {
+    return (bits_ >> table) & uint64_t{1};
+  }
+  constexpr bool ContainsAll(TableSet other) const {
+    return (bits_ & other.bits_) == other.bits_;
+  }
+  constexpr bool Intersects(TableSet other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+  /// True if this set is a subset of `other` (possibly equal).
+  constexpr bool IsSubsetOf(TableSet other) const {
+    return (bits_ & other.bits_) == bits_;
+  }
+
+  constexpr TableSet Union(TableSet other) const {
+    return TableSet(bits_ | other.bits_);
+  }
+  constexpr TableSet Intersect(TableSet other) const {
+    return TableSet(bits_ & other.bits_);
+  }
+  constexpr TableSet Minus(TableSet other) const {
+    return TableSet(bits_ & ~other.bits_);
+  }
+  constexpr TableSet With(int table) const {
+    return TableSet(bits_ | (uint64_t{1} << table));
+  }
+  constexpr TableSet Without(int table) const {
+    return TableSet(bits_ & ~(uint64_t{1} << table));
+  }
+
+  /// Index of the lowest-numbered table in the set. Undefined when empty.
+  constexpr int Lowest() const { return std::countr_zero(bits_); }
+
+  /// Index of the highest-numbered table in the set. Undefined when empty.
+  constexpr int Highest() const { return 63 - std::countl_zero(bits_); }
+
+  constexpr bool operator==(const TableSet& other) const = default;
+
+  /// Iterates over the table indices contained in a TableSet, lowest first.
+  /// Usage: for (int t : set) { ... }
+  class Iterator {
+   public:
+    constexpr explicit Iterator(uint64_t bits) : bits_(bits) {}
+    constexpr int operator*() const { return std::countr_zero(bits_); }
+    constexpr Iterator& operator++() {
+      bits_ &= bits_ - 1;  // clear lowest set bit
+      return *this;
+    }
+    constexpr bool operator!=(const Iterator& other) const {
+      return bits_ != other.bits_;
+    }
+
+   private:
+    uint64_t bits_;
+  };
+
+  constexpr Iterator begin() const { return Iterator(bits_); }
+  constexpr Iterator end() const { return Iterator(0); }
+
+  /// Renders e.g. "{0,3,5}" for debugging and tests.
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    for (int t : *this) {
+      if (!first) out += ",";
+      out += std::to_string(t);
+      first = false;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  uint64_t bits_;
+};
+
+/// Enumerates all non-empty proper subsets of `superset` in increasing
+/// bit-pattern order using the standard (sub - 1) & mask trick. Calling
+/// Next() repeatedly yields each subset once; returns false when exhausted.
+///
+/// Used by the unconstrained bushy DP baseline; the constrained bushy DP in
+/// src/partition generates admissible splits directly instead.
+class SubsetEnumerator {
+ public:
+  explicit SubsetEnumerator(TableSet superset)
+      : mask_(superset.bits()), current_(0), done_(superset.IsEmpty()) {}
+
+  /// Advances to the next non-empty proper subset. Returns false when all
+  /// subsets have been produced.
+  bool Next() {
+    if (done_) return false;
+    current_ = (current_ - mask_) & mask_;  // next subset of mask_
+    if (current_ == mask_ || current_ == 0) {
+      done_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  TableSet current() const { return TableSet(current_); }
+
+ private:
+  uint64_t mask_;
+  uint64_t current_;
+  bool done_;
+};
+
+/// Hash functor for TableSet suitable for unordered containers. Uses a
+/// Fibonacci-style multiplicative mix; table-set keys are already dense
+/// bit patterns so this spreads them well.
+struct TableSetHash {
+  size_t operator()(TableSet s) const {
+    uint64_t x = s.bits();
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_COMMON_TABLE_SET_H_

@@ -1,0 +1,59 @@
+// Copyright 2026 mpqopt authors.
+
+#include "cost/cardinality.h"
+
+namespace mpqopt {
+
+CardinalityEstimator::CardinalityEstimator(const Query& query) {
+  const int n = query.num_tables();
+  table_cards_.resize(n);
+  for (int i = 0; i < n; ++i) table_cards_[i] = query.table(i).cardinality;
+  adjacency_.resize(n);
+  for (const JoinPredicate& p : query.predicates()) {
+    adjacency_[p.left_table].push_back({p.right_table, p.selectivity});
+    adjacency_[p.right_table].push_back({p.left_table, p.selectivity});
+  }
+}
+
+double CardinalityEstimator::Cardinality(TableSet s) const {
+  MPQOPT_DCHECK(!s.IsEmpty());
+  double card = 1.0;
+  for (int t : s) {
+    card *= table_cards_[t];
+    for (const Edge& e : adjacency_[t]) {
+      // Apply each intra-set predicate exactly once, at its lower endpoint.
+      if (e.other_table > t && s.Contains(e.other_table)) {
+        card *= e.selectivity;
+      }
+    }
+  }
+  return card < 1.0 ? 1.0 : card;
+}
+
+double CardinalityEstimator::ConnectingSelectivity(TableSet left,
+                                                   TableSet right) const {
+  MPQOPT_DCHECK(!left.Intersects(right));
+  double sel = 1.0;
+  // Iterate over the smaller side's adjacency lists.
+  const TableSet probe = left.Count() <= right.Count() ? left : right;
+  const TableSet other = left.Count() <= right.Count() ? right : left;
+  for (int t : probe) {
+    for (const Edge& e : adjacency_[t]) {
+      if (other.Contains(e.other_table)) sel *= e.selectivity;
+    }
+  }
+  return sel;
+}
+
+bool CardinalityEstimator::Connected(TableSet left, TableSet right) const {
+  const TableSet probe = left.Count() <= right.Count() ? left : right;
+  const TableSet other = left.Count() <= right.Count() ? right : left;
+  for (int t : probe) {
+    for (const Edge& e : adjacency_[t]) {
+      if (other.Contains(e.other_table)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mpqopt

@@ -1,0 +1,54 @@
+// Copyright 2026 mpqopt authors.
+//
+// Cardinality estimation under the classical independence assumption:
+// |join(S)| = prod_{t in S} |t| * prod_{p inside S} sel(p).
+//
+// The estimator precomputes a per-table adjacency of predicates so that
+// estimating one table set costs O(|S| + #predicates inside S); the DP
+// calls it once per admissible join result.
+
+#ifndef MPQOPT_COST_CARDINALITY_H_
+#define MPQOPT_COST_CARDINALITY_H_
+
+#include <vector>
+
+#include "catalog/query.h"
+#include "common/table_set.h"
+
+namespace mpqopt {
+
+/// Estimates intermediate-result cardinalities for one query.
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const Query& query);
+
+  /// Estimated row count of joining exactly the tables in `s`.
+  /// Requires s to be non-empty.
+  double Cardinality(TableSet s) const;
+
+  /// Combined selectivity of all predicates connecting `left` and `right`
+  /// (1.0 if none connect them — i.e. a Cartesian product).
+  double ConnectingSelectivity(TableSet left, TableSet right) const;
+
+  /// True if at least one predicate connects `left` and `right`. With
+  /// cross products allowed this does not restrict enumeration; it is used
+  /// by examples/diagnostics.
+  bool Connected(TableSet left, TableSet right) const;
+
+  int num_tables() const { return static_cast<int>(table_cards_.size()); }
+
+ private:
+  struct Edge {
+    int other_table;
+    double selectivity;
+  };
+
+  std::vector<double> table_cards_;
+  // adjacency_[t] lists predicates incident to t; to avoid double counting
+  // inside a set, Cardinality() applies an edge only at its lower endpoint.
+  std::vector<std::vector<Edge>> adjacency_;
+};
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_COST_CARDINALITY_H_

@@ -1,0 +1,116 @@
+// Copyright 2026 mpqopt authors.
+//
+// Cost model with the standard textbook formulas the paper's evaluation
+// uses ("standard cost formulas [Steinbrunn et al.] ... for standard join
+// operators such as block-nested loop join, hash join, and sort-merge
+// join", Section 6.1). Costs are abstract work units proportional to tuple
+// accesses.
+//
+// Time metric (always metric 0):
+//   Scan(R):           |R|
+//   BNL(L, R):         |L| + ceil(|L| / B) * |R|   (B = block size in rows)
+//   Hash(L, R):        c_h * (|L| + |R|)           (build + probe)
+//   SortMerge(L, R):   |L| log2 |L| + |R| log2 |R| + |L| + |R|
+// plus |out| for producing the join result; plan time is the sum over all
+// operators.
+//
+// Buffer metric (metric 1 in kTimeAndBuffer mode, following the
+// multi-objective query optimization literature the paper cites):
+//   Scan: 1 block; BNL: B rows; Hash: |L| rows (build table);
+//   SortMerge: |L| + |R| rows (sort workspace).
+// Plan buffer is the maximum over operator workspaces — operator memory is
+// reused down the pipeline, the peak governs admission. Both combination
+// rules (sum for time, max for buffer) are monotone, so the principle of
+// optimality holds for Pareto-set DP.
+
+#ifndef MPQOPT_COST_COST_MODEL_H_
+#define MPQOPT_COST_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "cost/cost_vector.h"
+
+namespace mpqopt {
+
+/// Physical operator implementations considered by the optimizer.
+enum class JoinAlgorithm : uint8_t {
+  kScan = 0,           ///< leaf table scan (not a join)
+  kBlockNestedLoop = 1,
+  kHashJoin = 2,
+  kSortMergeJoin = 3,
+};
+
+/// Returns a short display name, e.g. "HJ".
+const char* JoinAlgorithmName(JoinAlgorithm alg);
+
+/// Number of join implementations (excluding kScan).
+inline constexpr int kNumJoinAlgorithms = 3;
+
+/// The list of join implementations, for enumeration loops.
+inline constexpr JoinAlgorithm kJoinAlgorithms[kNumJoinAlgorithms] = {
+    JoinAlgorithm::kBlockNestedLoop, JoinAlgorithm::kHashJoin,
+    JoinAlgorithm::kSortMergeJoin};
+
+/// Which cost metrics the optimizer tracks.
+enum class Objective : uint8_t {
+  kTime = 0,           ///< classical single-objective optimization
+  kTimeAndBuffer = 1,  ///< multi-objective: (execution time, buffer space)
+};
+
+/// Tuning constants of the cost formulas.
+struct CostModelOptions {
+  double block_size = 100.0;       ///< rows per BNL block
+  double hash_constant = 1.2;      ///< per-row build+probe factor
+  double output_cost_factor = 1.0; ///< cost per produced output row
+  /// Per-row cost factor of an order-producing (clustered-index-style)
+  /// scan, relative to a plain heap scan. Interesting-orders mode only.
+  double sorted_scan_factor = 1.2;
+};
+
+/// Stateless cost model; cheap to copy into each worker.
+class CostModel {
+ public:
+  explicit CostModel(Objective objective,
+                     CostModelOptions options = CostModelOptions())
+      : objective_(objective), options_(options) {}
+
+  Objective objective() const { return objective_; }
+  int num_metrics() const {
+    return objective_ == Objective::kTime ? 1 : 2;
+  }
+
+  /// Cost of scanning a base table with `card` rows.
+  CostVector ScanCost(double card) const;
+
+  /// Full plan cost of joining two subplans with the given algorithm.
+  /// `left_cost`/`right_cost` are the subplan cost vectors; `left_card`,
+  /// `right_card`, `output_card` are estimated row counts.
+  CostVector JoinCost(JoinAlgorithm alg, const CostVector& left_cost,
+                      const CostVector& right_cost, double left_card,
+                      double right_card, double output_card) const;
+
+  /// Operator-local work (time metric only) — used by tests to validate
+  /// the composition rule.
+  double LocalJoinTime(JoinAlgorithm alg, double left_card, double right_card,
+                       double output_card) const;
+
+  // --- Interesting-orders mode (see optimizer/orders.h) ---------------
+
+  /// Cost of explicitly sorting `card` rows (n log2 n).
+  double SortTime(double card) const;
+
+  /// Cost of an order-producing scan of `card` rows.
+  double SortedScanTime(double card) const;
+
+  /// Merge phase of a sort-merge join on presorted inputs (no sort term).
+  double MergePhaseTime(double left_card, double right_card,
+                        double output_card) const;
+
+ private:
+  Objective objective_;
+  CostModelOptions options_;
+};
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_COST_COST_MODEL_H_

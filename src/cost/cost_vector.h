@@ -1,0 +1,155 @@
+// Copyright 2026 mpqopt authors.
+//
+// Plan cost vectors. Single-objective optimization uses one metric
+// (execution time); multi-objective optimization (paper Section 6, second
+// series) adds buffer-space consumption. The vector is fixed-capacity and
+// trivially copyable because it sits in every memo entry.
+
+#ifndef MPQOPT_COST_COST_VECTOR_H_
+#define MPQOPT_COST_COST_VECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/macros.h"
+#include "common/serialize.h"
+
+namespace mpqopt {
+
+/// Maximum number of simultaneous cost metrics supported. Two covers the
+/// paper's evaluation (time, buffer); kept small because CostVector sits
+/// in every Pareto memo entry of the multi-objective DP.
+inline constexpr int kMaxCostMetrics = 2;
+
+/// A point in cost space; lower is better in every metric.
+class CostVector {
+ public:
+  CostVector() : num_metrics_(1) { values_.fill(0.0); }
+
+  explicit CostVector(int num_metrics) : num_metrics_(num_metrics) {
+    MPQOPT_DCHECK(num_metrics >= 1 && num_metrics <= kMaxCostMetrics);
+    values_.fill(0.0);
+  }
+
+  /// Single-metric convenience constructor.
+  static CostVector Scalar(double time) {
+    CostVector c(1);
+    c.values_[0] = time;
+    return c;
+  }
+
+  /// Two-metric convenience constructor (time, buffer).
+  static CostVector TimeBuffer(double time, double buffer) {
+    CostVector c(2);
+    c.values_[0] = time;
+    c.values_[1] = buffer;
+    return c;
+  }
+
+  int num_metrics() const { return num_metrics_; }
+  double operator[](int i) const {
+    MPQOPT_DCHECK(i >= 0 && i < num_metrics_);
+    return values_[i];
+  }
+  double& operator[](int i) {
+    MPQOPT_DCHECK(i >= 0 && i < num_metrics_);
+    return values_[i];
+  }
+
+  /// First metric — execution time under both objective modes.
+  double time() const { return values_[0]; }
+
+  /// Component-wise sum; both vectors must have the same arity.
+  CostVector Plus(const CostVector& other) const {
+    MPQOPT_DCHECK(num_metrics_ == other.num_metrics_);
+    CostVector out(num_metrics_);
+    for (int i = 0; i < num_metrics_; ++i) {
+      out.values_[i] = values_[i] + other.values_[i];
+    }
+    return out;
+  }
+
+  /// Component-wise max (used for the buffer metric, where concurrent
+  /// operator workspaces are bounded by the largest requirement).
+  CostVector Max(const CostVector& other) const {
+    MPQOPT_DCHECK(num_metrics_ == other.num_metrics_);
+    CostVector out(num_metrics_);
+    for (int i = 0; i < num_metrics_; ++i) {
+      out.values_[i] =
+          values_[i] > other.values_[i] ? values_[i] : other.values_[i];
+    }
+    return out;
+  }
+
+  /// True if this vector is at least as good as `other` in every metric.
+  bool WeaklyDominates(const CostVector& other) const {
+    MPQOPT_DCHECK(num_metrics_ == other.num_metrics_);
+    for (int i = 0; i < num_metrics_; ++i) {
+      if (values_[i] > other.values_[i]) return false;
+    }
+    return true;
+  }
+
+  /// True if this vector weakly dominates `other` and is strictly better in
+  /// at least one metric.
+  bool StrictlyDominates(const CostVector& other) const {
+    MPQOPT_DCHECK(num_metrics_ == other.num_metrics_);
+    bool strict = false;
+    for (int i = 0; i < num_metrics_; ++i) {
+      if (values_[i] > other.values_[i]) return false;
+      if (values_[i] < other.values_[i]) strict = true;
+    }
+    return strict;
+  }
+
+  /// Approximate dominance (Trummer & Koch, SIGMOD 2014): this vector
+  /// alpha-dominates `other` if scaling `other` up by alpha makes it weakly
+  /// dominated, i.e. values_[i] <= alpha * other[i] for all i. alpha >= 1;
+  /// alpha == 1 coincides with weak dominance.
+  bool AlphaDominates(const CostVector& other, double alpha) const {
+    MPQOPT_DCHECK(num_metrics_ == other.num_metrics_);
+    MPQOPT_DCHECK(alpha >= 1.0);
+    for (int i = 0; i < num_metrics_; ++i) {
+      if (values_[i] > alpha * other.values_[i]) return false;
+    }
+    return true;
+  }
+
+  void Serialize(ByteWriter* writer) const {
+    writer->WriteU8(static_cast<uint8_t>(num_metrics_));
+    for (int i = 0; i < num_metrics_; ++i) writer->WriteDouble(values_[i]);
+  }
+
+  static StatusOr<CostVector> Deserialize(ByteReader* reader) {
+    uint8_t n = 0;
+    Status s = reader->ReadU8(&n);
+    if (!s.ok()) return s;
+    if (n < 1 || n > kMaxCostMetrics) {
+      return Status::Corruption("cost vector arity out of range");
+    }
+    CostVector out(n);
+    for (int i = 0; i < n; ++i) {
+      if (!(s = reader->ReadDouble(&out.values_[i])).ok()) return s;
+    }
+    return out;
+  }
+
+  std::string ToString() const {
+    std::string out = "(";
+    for (int i = 0; i < num_metrics_; ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(values_[i]);
+    }
+    out += ")";
+    return out;
+  }
+
+ private:
+  std::array<double, kMaxCostMetrics> values_;
+  int num_metrics_;
+};
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_COST_COST_VECTOR_H_

@@ -1,0 +1,114 @@
+// Copyright 2026 mpqopt authors.
+
+#include "exp/harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mpqopt {
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value) return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value) return fallback;
+  return parsed;
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0;
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double ConfidenceInterval95(const std::vector<double>& values) {
+  if (values.size() < 2) return 0;
+  const double mean = Mean(values);
+  double ss = 0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  const double stddev =
+      std::sqrt(ss / static_cast<double>(values.size() - 1));
+  return 1.96 * stddev / std::sqrt(static_cast<double>(values.size()));
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  const auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out += cell;
+      out.append(widths[c] - cell.size() + 2, ' ');
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  append_row(headers_);
+  std::vector<std::string> rule;
+  for (size_t w : widths) rule.push_back(std::string(w, '-'));
+  append_row(rule);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string TablePrinter::FormatMillis(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", seconds * 1e3);
+  return buf;
+}
+
+std::string TablePrinter::FormatBytes(double bytes) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f", bytes);
+  return buf;
+}
+
+std::string TablePrinter::FormatCount(double count) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f", count);
+  return buf;
+}
+
+std::string TablePrinter::FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace mpqopt

@@ -1,0 +1,61 @@
+// Copyright 2026 mpqopt authors.
+//
+// Shared utilities of the benchmark binaries in bench/: environment-based
+// scaling knobs, robust aggregation (the paper reports medians over
+// randomly generated queries), and fixed-width table output so each bench
+// binary prints the rows of its figure/table.
+
+#ifndef MPQOPT_EXP_HARNESS_H_
+#define MPQOPT_EXP_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpqopt {
+
+/// Reads an integer knob from the environment, e.g.
+/// MPQOPT_QUERIES_PER_POINT; returns `fallback` when unset/invalid.
+int64_t EnvInt(const char* name, int64_t fallback);
+
+/// Reads a floating-point knob from the environment.
+double EnvDouble(const char* name, double fallback);
+
+/// Median of a sample (by copy; the input order is preserved).
+double Median(std::vector<double> values);
+
+/// Arithmetic mean.
+double Mean(const std::vector<double>& values);
+
+/// Half-width of the normal-approximation 95% confidence interval
+/// (used by the Figure 3 bench, which reports mean +/- CI as the paper).
+double ConfidenceInterval95(const std::vector<double>& values);
+
+/// Fixed-width plain-text table writer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; cells are preformatted strings.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with aligned columns.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+  /// Formats helpers for cells.
+  static std::string FormatMillis(double seconds);
+  static std::string FormatBytes(double bytes);
+  static std::string FormatCount(double count);
+  static std::string FormatDouble(double v, int precision);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_EXP_HARNESS_H_

@@ -1,0 +1,69 @@
+// Copyright 2026 mpqopt authors.
+//
+// Heterogeneous-cluster MPQ (paper Section 4.1, footnote 1: "If worker
+// nodes are heterogeneous then the number of partitions treated by a
+// worker should be proportional to its performance").
+//
+// The plan space is still divided into a power-of-two number of
+// equal-size partitions, but a PHYSICAL worker now receives a contiguous
+// RANGE of partition ids sized proportionally to its relative speed. Each
+// worker optimizes its partitions one after another in a single task
+// (still one task and one communication round per worker per query) and
+// returns the best plan(s) across its range after a worker-local final
+// prune. A fast node therefore ends at roughly the same time as a slow
+// node with a smaller share — restoring the skew-freeness that uniform
+// assignment would lose on unequal hardware.
+
+#ifndef MPQOPT_MPQ_HETEROGENEOUS_H_
+#define MPQOPT_MPQ_HETEROGENEOUS_H_
+
+#include <vector>
+
+#include "mpq/mpq.h"
+
+namespace mpqopt {
+
+/// Contiguous range [begin, end) of partition ids owned by one worker.
+struct PartitionShare {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+
+  uint64_t size() const { return end - begin; }
+};
+
+/// Splits `num_partitions` partition ids across workers proportionally to
+/// `speeds` (relative performance factors, > 0) using largest-remainder
+/// apportionment. Shares are contiguous, disjoint, cover all ids, and a
+/// sufficiently slow worker may legitimately receive an empty share.
+std::vector<PartitionShare> AssignPartitions(const std::vector<double>& speeds,
+                                             uint64_t num_partitions);
+
+/// MPQ master for heterogeneous clusters. options.num_workers is the
+/// TOTAL number of plan-space partitions (a power of two); the physical
+/// worker count is speeds.size().
+class HeteroMpqOptimizer {
+ public:
+  HeteroMpqOptimizer(MpqOptions options, std::vector<double> speeds);
+
+  StatusOr<MpqResult> Optimize(const Query& query);
+
+  /// Worker entry point: optimizes every partition in its range and
+  /// returns the range-optimal plan set (wire contract mirrors
+  /// MpqOptimizer::WorkerMain with a trailing id range).
+  static StatusOr<std::vector<uint8_t>> WorkerMain(
+      const std::vector<uint8_t>& request);
+
+  /// Builds the wire request for one worker's partition range.
+  static std::vector<uint8_t> BuildRequest(const Query& query,
+                                           PartitionShare share,
+                                           const MpqOptions& options);
+
+ private:
+  MpqOptions options_;
+  std::vector<double> speeds_;
+  ClusterExecutor executor_;
+};
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_MPQ_HETEROGENEOUS_H_

@@ -1,0 +1,212 @@
+// Copyright 2026 mpqopt authors.
+
+#include "mpq/mpq.h"
+
+#include <chrono>
+
+#include "common/serialize.h"
+#include "optimizer/pruning.h"
+#include "plan/plan_serde.h"
+
+namespace mpqopt {
+namespace {
+
+/// Response trailer carried back from each worker alongside its plans.
+struct WorkerReport {
+  uint64_t admissible_sets = 0;
+  uint64_t splits_tried = 0;
+  uint64_t plans_costed = 0;
+  double seconds = 0;
+};
+
+void SerializeReport(const WorkerReport& r, ByteWriter* writer) {
+  writer->WriteU64(r.admissible_sets);
+  writer->WriteU64(r.splits_tried);
+  writer->WriteU64(r.plans_costed);
+  writer->WriteDouble(r.seconds);
+}
+
+Status DeserializeReport(ByteReader* reader, WorkerReport* r) {
+  Status s;
+  if (!(s = reader->ReadU64(&r->admissible_sets)).ok()) return s;
+  if (!(s = reader->ReadU64(&r->splits_tried)).ok()) return s;
+  if (!(s = reader->ReadU64(&r->plans_costed)).ok()) return s;
+  return reader->ReadDouble(&r->seconds);
+}
+
+}  // namespace
+
+MpqOptimizer::MpqOptimizer(MpqOptions options)
+    : options_(options),
+      executor_(options.network, options.max_threads),
+      process_executor_(options.network) {}
+
+std::vector<uint8_t> MpqOptimizer::BuildRequest(const Query& query,
+                                                uint64_t partition_id,
+                                                const MpqOptions& options) {
+  ByteWriter writer;
+  query.Serialize(&writer);
+  writer.WriteU64(partition_id);
+  writer.WriteU64(options.num_workers);
+  writer.WriteU8(static_cast<uint8_t>(options.space));
+  writer.WriteU8(static_cast<uint8_t>(options.objective));
+  writer.WriteU8(options.interesting_orders ? 1 : 0);
+  writer.WriteDouble(options.alpha);
+  writer.WriteDouble(options.cost_options.block_size);
+  writer.WriteDouble(options.cost_options.hash_constant);
+  writer.WriteDouble(options.cost_options.output_cost_factor);
+  writer.WriteU64(static_cast<uint64_t>(options.max_memo_entries));
+  return writer.Release();
+}
+
+StatusOr<std::vector<uint8_t>> MpqOptimizer::WorkerMain(
+    const std::vector<uint8_t>& request) {
+  ByteReader reader(request);
+  StatusOr<Query> query = Query::Deserialize(&reader);
+  if (!query.ok()) return query.status();
+
+  uint64_t partition_id = 0;
+  uint64_t num_partitions = 0;
+  uint8_t space_raw = 0;
+  uint8_t objective_raw = 0;
+  uint8_t interesting_orders = 0;
+  DpConfig config;
+  Status s;
+  if (!(s = reader.ReadU64(&partition_id)).ok()) return s;
+  if (!(s = reader.ReadU64(&num_partitions)).ok()) return s;
+  if (!(s = reader.ReadU8(&space_raw)).ok()) return s;
+  if (!(s = reader.ReadU8(&objective_raw)).ok()) return s;
+  if (!(s = reader.ReadU8(&interesting_orders)).ok()) return s;
+  if (!(s = reader.ReadDouble(&config.alpha)).ok()) return s;
+  if (!(s = reader.ReadDouble(&config.cost_options.block_size)).ok()) return s;
+  if (!(s = reader.ReadDouble(&config.cost_options.hash_constant)).ok()) {
+    return s;
+  }
+  if (!(s = reader.ReadDouble(&config.cost_options.output_cost_factor)).ok()) {
+    return s;
+  }
+  uint64_t max_memo = 0;
+  if (!(s = reader.ReadU64(&max_memo)).ok()) return s;
+  if (space_raw > 1) return Status::Corruption("bad plan space tag");
+  if (objective_raw > 1) return Status::Corruption("bad objective tag");
+  config.space = static_cast<PlanSpace>(space_raw);
+  config.objective = static_cast<Objective>(objective_raw);
+  config.interesting_orders = interesting_orders != 0;
+  config.max_memo_entries = static_cast<int64_t>(max_memo);
+
+  // Decode the partition id into this worker's join-order constraints
+  // (paper Algorithm 3) and run the constrained DP (Algorithm 2).
+  StatusOr<ConstraintSet> constraints = ConstraintSet::FromPartitionId(
+      query.value().num_tables(), config.space, partition_id, num_partitions);
+  if (!constraints.ok()) return constraints.status();
+  StatusOr<DpResult> dp =
+      RunPartitionDp(query.value(), constraints.value(), config);
+  if (!dp.ok()) return dp.status();
+  const DpResult& result = dp.value();
+
+  ByteWriter writer;
+  WorkerReport report;
+  report.admissible_sets = static_cast<uint64_t>(result.stats.admissible_sets);
+  report.splits_tried = static_cast<uint64_t>(result.stats.splits_tried);
+  report.plans_costed = static_cast<uint64_t>(result.stats.plans_costed);
+  report.seconds = result.stats.seconds;
+  SerializeReport(report, &writer);
+  SerializePlanSet(result.arena, result.best, &writer);
+  return writer.Release();
+}
+
+StatusOr<MpqResult> MpqOptimizer::Optimize(const Query& query) {
+  Status valid = query.Validate();
+  if (!valid.ok()) return valid;
+  const uint64_t m = options_.num_workers;
+  if (!IsPowerOfTwo(m)) {
+    return Status::InvalidArgument("num_workers must be a power of two");
+  }
+  if (m > MaxWorkers(query.num_tables(), options_.space)) {
+    return Status::InvalidArgument(
+        "num_workers exceeds the maximal degree of parallelism for this "
+        "query; round down with UsableWorkers()");
+  }
+
+  // Phase 1 (master): build one request per partition.
+  const auto serialize_start = std::chrono::steady_clock::now();
+  std::vector<std::vector<uint8_t>> requests;
+  requests.reserve(m);
+  for (uint64_t part = 0; part < m; ++part) {
+    requests.push_back(BuildRequest(query, part, options_));
+  }
+  const auto serialize_end = std::chrono::steady_clock::now();
+
+  // Phase 2 (workers): one task per partition, no shared state.
+  std::vector<WorkerTask> tasks(m, WorkerTask(&MpqOptimizer::WorkerMain));
+  StatusOr<RoundResult> round_or =
+      options_.execution_mode == ExecutionMode::kProcesses
+          ? process_executor_.RunRound(tasks, requests)
+          : executor_.RunRound(tasks, requests);
+  if (!round_or.ok()) return round_or.status();
+  RoundResult& round = round_or.value();
+
+  // Phase 3 (master): decode responses and final-prune the m plans.
+  const auto merge_start = std::chrono::steady_clock::now();
+  MpqResult result;
+  result.worker_seconds.resize(m);
+  result.worker_memo_sets.resize(m);
+  for (uint64_t part = 0; part < m; ++part) {
+    ByteReader reader(round.responses[part]);
+    WorkerReport report;
+    Status s = DeserializeReport(&reader, &report);
+    if (!s.ok()) return s;
+    StatusOr<std::vector<PlanId>> plans =
+        DeserializePlanSet(&reader, &result.arena);
+    if (!plans.ok()) return plans.status();
+
+    result.worker_seconds[part] = report.seconds;
+    result.worker_memo_sets[part] =
+        static_cast<int64_t>(report.admissible_sets);
+    result.total_splits += static_cast<int64_t>(report.splits_tried);
+    result.total_plans_costed += static_cast<int64_t>(report.plans_costed);
+    if (report.seconds > result.max_worker_seconds) {
+      result.max_worker_seconds = report.seconds;
+    }
+    if (result.worker_memo_sets[part] > result.max_worker_memo_sets) {
+      result.max_worker_memo_sets = result.worker_memo_sets[part];
+    }
+
+    // FinalPrune (paper Algorithm 1): compare partition-optimal plans.
+    if (options_.objective == Objective::kTime) {
+      for (PlanId id : plans.value()) {
+        if (result.best.empty() ||
+            result.arena.node(id).cost.time() <
+                result.arena.node(result.best[0]).cost.time()) {
+          if (result.best.empty()) {
+            result.best.push_back(id);
+          } else {
+            result.best[0] = id;
+          }
+        }
+      }
+    } else {
+      const auto cost_of = [&](PlanId id) -> const CostVector& {
+        return result.arena.node(id).cost;
+      };
+      for (PlanId id : plans.value()) {
+        ParetoInsert(&result.best, id, cost_of, options_.alpha);
+      }
+    }
+  }
+  const auto merge_end = std::chrono::steady_clock::now();
+
+  result.master_seconds =
+      std::chrono::duration<double>(serialize_end - serialize_start).count() +
+      std::chrono::duration<double>(merge_end - merge_start).count();
+  result.simulated_seconds = round.simulated_seconds + result.master_seconds;
+  result.wall_seconds = round.wall_seconds + result.master_seconds;
+  result.network_bytes = round.traffic.bytes_sent;
+  result.network_messages = round.traffic.messages;
+  if (result.best.empty()) {
+    return Status::Internal("no plan returned by any worker");
+  }
+  return result;
+}
+
+}  // namespace mpqopt

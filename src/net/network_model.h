@@ -1,0 +1,69 @@
+// Copyright 2026 mpqopt authors.
+//
+// Shared-nothing network substitute. The paper ran on a 100-node cluster
+// (Spark 1.5 on YARN) with high message latency and per-task assignment
+// overheads; this repository reproduces that environment with (a) real
+// byte-level serialization of every message (see src/common/serialize.h)
+// and (b) an explicit cost model that converts message sizes and task
+// counts into simulated elapsed time. All byte counts reported by the
+// benchmarks are true payload sizes; only the *clock* is modeled.
+
+#ifndef MPQOPT_NET_NETWORK_MODEL_H_
+#define MPQOPT_NET_NETWORK_MODEL_H_
+
+#include <cstdint>
+
+namespace mpqopt {
+
+/// Latency/bandwidth/overhead parameters of the simulated cluster.
+///
+/// Calibration: what determines the scaling curves is the DIMENSIONLESS
+/// ratio of coordination overhead to worker compute time, not absolute
+/// values. The paper's Spark/YARN/Java stack paired millisecond-scale
+/// task dispatch and message latency with minutes-scale (Java) worker
+/// optimizations; this library's C++ workers are roughly two orders of
+/// magnitude faster on the same plan spaces, so the default overheads
+/// below are the paper's cluster overheads scaled down by that factor —
+/// keeping the overhead : compute ratio (and therefore the shape of the
+/// time-vs-workers curves and the speedup magnitudes) faithful to the
+/// paper's environment. Byte counts are unaffected; bandwidth stays at
+/// the physical 1 Gbit/s. Pass explicit values (benches: see the
+/// MPQOPT_TASK_SETUP_US / MPQOPT_LATENCY_US / MPQOPT_BANDWIDTH_MBPS
+/// knobs) to model other clusters.
+struct NetworkModel {
+  /// One-way message latency in seconds (paper environment: ~1 ms,
+  /// scaled by the substrate speed ratio).
+  double latency_s = 10e-6;
+  /// Link bandwidth in bytes per second.
+  double bandwidth_bytes_per_s = 125e6;  // 1 Gbit/s
+  /// Fixed cost of assigning one task to a worker (scheduling, executor
+  /// wake-up). Charged once per task on the master. Paper environment:
+  /// low milliseconds per Spark task, scaled by the substrate ratio.
+  double task_setup_s = 30e-6;
+
+  /// Time to push one message of `bytes` over a link.
+  double TransferTime(uint64_t bytes) const {
+    return latency_s + static_cast<double>(bytes) / bandwidth_bytes_per_s;
+  }
+};
+
+/// Running totals of simulated network usage. The "Network (bytes)" series
+/// of the paper's figures report exactly these byte counts.
+struct TrafficStats {
+  uint64_t bytes_sent = 0;
+  uint64_t messages = 0;
+
+  void Record(uint64_t bytes) {
+    bytes_sent += bytes;
+    ++messages;
+  }
+
+  void Merge(const TrafficStats& other) {
+    bytes_sent += other.bytes_sent;
+    messages += other.messages;
+  }
+};
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_NET_NETWORK_MODEL_H_

@@ -1,0 +1,308 @@
+// Copyright 2026 mpqopt authors.
+
+#include "optimizer/dp.h"
+
+#include <chrono>
+#include <limits>
+
+#include "cost/cardinality.h"
+#include "optimizer/io_dp.h"
+#include "optimizer/pruning.h"
+#include "partition/partition_index.h"
+
+namespace mpqopt {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Memo entry of the single-objective DP: the best plan for one admissible
+/// table set, O(1) space (Theorem 4) — children are recovered through
+/// left_bits at reconstruction time.
+struct ScalarEntry {
+  double cost = kInf;
+  double card = 0;
+  uint64_t left_bits = 0;
+  JoinAlgorithm alg = JoinAlgorithm::kScan;
+};
+
+/// One plan of a Pareto frontier in the multi-objective DP. left_idx and
+/// right_idx select the operand plans within the children's frontiers.
+struct ParetoPlanRef {
+  CostVector cost;
+  uint64_t left_bits = 0;
+  uint32_t left_idx = 0;
+  uint32_t right_idx = 0;
+  JoinAlgorithm alg = JoinAlgorithm::kScan;
+};
+
+/// Memo entry of the multi-objective DP: the alpha-approximate Pareto set
+/// of plans for one admissible table set.
+struct ParetoEntry {
+  double card = 0;
+  std::vector<ParetoPlanRef> plans;
+};
+
+class ScalarDp {
+ public:
+  ScalarDp(const Query& query, const PartitionIndex& index,
+           const CostModel& model)
+      : query_(query), index_(index), model_(model), estimator_(query) {}
+
+  void Run(DpStats* stats) {
+    const int n = query_.num_tables();
+    memo_.assign(static_cast<size_t>(index_.size()), ScalarEntry());
+    // Initialize admissible singletons with scan plans (inadmissible
+    // singletons are provably never used as operands).
+    for (int t = 0; t < n; ++t) {
+      scan_card_[t] = query_.table(t).cardinality;
+      scan_cost_[t] = model_.ScanCost(scan_card_[t]).time();
+      const int64_t r = index_.Rank(TableSet::Single(t));
+      if (r >= 0) {
+        memo_[static_cast<size_t>(r)] = {scan_cost_[t], scan_card_[t], 0,
+                                         JoinAlgorithm::kScan};
+      }
+    }
+    const bool linear = index_.space() == PlanSpace::kLinear;
+    for (int k = 2; k <= n; ++k) {
+      index_.ForEachSetOfCard(k, [&](TableSet u, int64_t rank) {
+        const double out_card = estimator_.Cardinality(u);
+        ScalarEntry best;
+        best.card = out_card;
+        if (linear) {
+          for (int t : u) {
+            if (!index_.InnerAllowed(t, u)) continue;
+            const int64_t lrank = index_.RankWithout(u, rank, t);
+            const ScalarEntry& le = memo_[static_cast<size_t>(lrank)];
+            MPQOPT_DCHECK(le.cost < kInf);
+            ++stats->splits_tried;
+            const double base = le.cost + scan_cost_[t];
+            for (JoinAlgorithm alg : kJoinAlgorithms) {
+              const double cost =
+                  base +
+                  model_.LocalJoinTime(alg, le.card, scan_card_[t], out_card);
+              ++stats->plans_costed;
+              if (cost < best.cost) {
+                best.cost = cost;
+                best.left_bits = u.Without(t).bits();
+                best.alg = alg;
+              }
+            }
+          }
+        } else {
+          index_.ForEachSplit(u, [&](TableSet left, int64_t lrank,
+                                     int64_t rrank) {
+            const ScalarEntry& le = memo_[static_cast<size_t>(lrank)];
+            const ScalarEntry& re = memo_[static_cast<size_t>(rrank)];
+            MPQOPT_DCHECK(le.cost < kInf && re.cost < kInf);
+            ++stats->splits_tried;
+            const double base = le.cost + re.cost;
+            for (JoinAlgorithm alg : kJoinAlgorithms) {
+              const double cost =
+                  base + model_.LocalJoinTime(alg, le.card, re.card, out_card);
+              ++stats->plans_costed;
+              if (cost < best.cost) {
+                best.cost = cost;
+                best.left_bits = left.bits();
+                best.alg = alg;
+              }
+            }
+          });
+        }
+        MPQOPT_CHECK(best.cost < kInf);  // every admissible set has a split
+        memo_[static_cast<size_t>(rank)] = best;
+      });
+    }
+  }
+
+  /// Materializes the best plan for `s` into `arena`.
+  PlanId Build(TableSet s, PlanArena* arena) const {
+    if (s.Count() == 1) {
+      const int t = s.Lowest();
+      return arena->MakeScan(t, scan_card_[t],
+                             model_.ScanCost(scan_card_[t]));
+    }
+    const int64_t rank = index_.Rank(s);
+    MPQOPT_CHECK_GE(rank, 0);
+    const ScalarEntry& e = memo_[static_cast<size_t>(rank)];
+    const TableSet left(e.left_bits);
+    const TableSet right = s.Minus(left);
+    const PlanId lid = Build(left, arena);
+    const PlanId rid = Build(right, arena);
+    return arena->MakeJoin(e.alg, lid, rid, e.card,
+                           CostVector::Scalar(e.cost));
+  }
+
+ private:
+  const Query& query_;
+  const PartitionIndex& index_;
+  const CostModel& model_;
+  CardinalityEstimator estimator_;
+  std::vector<ScalarEntry> memo_;
+  double scan_card_[kMaxTables] = {};
+  double scan_cost_[kMaxTables] = {};
+};
+
+class ParetoDp {
+ public:
+  ParetoDp(const Query& query, const PartitionIndex& index,
+           const CostModel& model, double alpha)
+      : query_(query),
+        index_(index),
+        model_(model),
+        alpha_(alpha),
+        estimator_(query) {}
+
+  void Run(DpStats* stats) {
+    const int n = query_.num_tables();
+    memo_.assign(static_cast<size_t>(index_.size()), ParetoEntry());
+    for (int t = 0; t < n; ++t) {
+      scan_card_[t] = query_.table(t).cardinality;
+      scan_cost_[t] = model_.ScanCost(scan_card_[t]);
+      const int64_t r = index_.Rank(TableSet::Single(t));
+      if (r >= 0) {
+        ParetoEntry& e = memo_[static_cast<size_t>(r)];
+        e.card = scan_card_[t];
+        e.plans.push_back({scan_cost_[t], 0, 0, 0, JoinAlgorithm::kScan});
+      }
+    }
+    const auto cost_of = [](const ParetoPlanRef& p) -> const CostVector& {
+      return p.cost;
+    };
+    const bool linear = index_.space() == PlanSpace::kLinear;
+    for (int k = 2; k <= n; ++k) {
+      index_.ForEachSetOfCard(k, [&](TableSet u, int64_t rank) {
+        ParetoEntry entry;
+        entry.card = estimator_.Cardinality(u);
+        const auto try_split = [&](TableSet left, const ParetoEntry& le,
+                                   const ParetoEntry& re) {
+          ++stats->splits_tried;
+          for (uint32_t li = 0; li < le.plans.size(); ++li) {
+            for (uint32_t ri = 0; ri < re.plans.size(); ++ri) {
+              for (JoinAlgorithm alg : kJoinAlgorithms) {
+                ++stats->plans_costed;
+                ParetoPlanRef cand;
+                cand.cost = model_.JoinCost(alg, le.plans[li].cost,
+                                            re.plans[ri].cost, le.card,
+                                            re.card, entry.card);
+                cand.left_bits = left.bits();
+                cand.left_idx = li;
+                cand.right_idx = ri;
+                cand.alg = alg;
+                ParetoInsert(&entry.plans, cand, cost_of, alpha_);
+              }
+            }
+          }
+        };
+        if (linear) {
+          for (int t : u) {
+            if (!index_.InnerAllowed(t, u)) continue;
+            const int64_t lrank = index_.RankWithout(u, rank, t);
+            ParetoEntry scan;
+            scan.card = scan_card_[t];
+            scan.plans.push_back(
+                {scan_cost_[t], 0, 0, 0, JoinAlgorithm::kScan});
+            try_split(u.Without(t), memo_[static_cast<size_t>(lrank)], scan);
+          }
+        } else {
+          index_.ForEachSplit(
+              u, [&](TableSet left, int64_t lrank, int64_t rrank) {
+                try_split(left, memo_[static_cast<size_t>(lrank)],
+                          memo_[static_cast<size_t>(rrank)]);
+              });
+        }
+        MPQOPT_CHECK(!entry.plans.empty());
+        memo_[static_cast<size_t>(rank)] = std::move(entry);
+      });
+    }
+  }
+
+  /// Number of Pareto plans stored for table set `s`.
+  size_t FrontierSize(TableSet s) const {
+    const int64_t rank = index_.Rank(s);
+    MPQOPT_CHECK_GE(rank, 0);
+    return memo_[static_cast<size_t>(rank)].plans.size();
+  }
+
+  /// Materializes plan `idx` of the frontier of `s` into `arena`.
+  PlanId Build(TableSet s, uint32_t idx, PlanArena* arena) const {
+    if (s.Count() == 1) {
+      const int t = s.Lowest();
+      return arena->MakeScan(t, scan_card_[t], scan_cost_[t]);
+    }
+    const int64_t rank = index_.Rank(s);
+    MPQOPT_CHECK_GE(rank, 0);
+    const ParetoEntry& e = memo_[static_cast<size_t>(rank)];
+    const ParetoPlanRef& p = e.plans[idx];
+    const TableSet left(p.left_bits);
+    const TableSet right = s.Minus(left);
+    const PlanId lid = Build(left, p.left_idx, arena);
+    const PlanId rid = Build(right, p.right_idx, arena);
+    return arena->MakeJoin(p.alg, lid, rid, e.card, p.cost);
+  }
+
+ private:
+  const Query& query_;
+  const PartitionIndex& index_;
+  const CostModel& model_;
+  double alpha_;
+  CardinalityEstimator estimator_;
+  std::vector<ParetoEntry> memo_;
+  double scan_card_[kMaxTables] = {};
+  CostVector scan_cost_[kMaxTables];
+};
+
+}  // namespace
+
+StatusOr<DpResult> RunPartitionDp(const Query& query,
+                                  const ConstraintSet& constraints,
+                                  const DpConfig& config) {
+  if (config.interesting_orders) {
+    return RunPartitionDpInterestingOrders(query, constraints, config);
+  }
+  Status valid = query.Validate();
+  if (!valid.ok()) return valid;
+  if (constraints.space() != config.space) {
+    return Status::InvalidArgument("constraint set is for the other space");
+  }
+  if (config.objective == Objective::kTimeAndBuffer && config.alpha < 1.0) {
+    return Status::InvalidArgument("alpha must be >= 1");
+  }
+
+  const PartitionIndex index(query.num_tables(), constraints);
+  if (index.size() > config.max_memo_entries) {
+    return Status::OutOfRange(
+        "plan space partition too large; increase the number of workers");
+  }
+
+  const CostModel model(config.objective, config.cost_options);
+  DpResult result;
+  result.stats.admissible_sets = index.size();
+
+  const TableSet all = query.all_tables();
+  const auto start = std::chrono::steady_clock::now();
+  if (query.num_tables() == 1) {
+    const double card = query.table(0).cardinality;
+    result.best.push_back(result.arena.MakeScan(0, card, model.ScanCost(card)));
+  } else if (config.objective == Objective::kTime) {
+    ScalarDp dp(query, index, model);
+    dp.Run(&result.stats);
+    result.best.push_back(dp.Build(all, &result.arena));
+  } else {
+    ParetoDp dp(query, index, model, config.alpha);
+    dp.Run(&result.stats);
+    const size_t frontier = dp.FrontierSize(all);
+    for (uint32_t i = 0; i < frontier; ++i) {
+      result.best.push_back(dp.Build(all, i, &result.arena));
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  result.stats.seconds =
+      std::chrono::duration<double>(end - start).count();
+  return result;
+}
+
+StatusOr<DpResult> OptimizeSerial(const Query& query, const DpConfig& config) {
+  return RunPartitionDp(query, ConstraintSet::None(config.space), config);
+}
+
+}  // namespace mpqopt

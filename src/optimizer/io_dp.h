@@ -1,0 +1,34 @@
+// Copyright 2026 mpqopt authors.
+//
+// Order-aware partition DP (interesting-orders mode of RunPartitionDp).
+// Keeps the best plan per (admissible table set, order class) so that
+// sort-merge joins can exploit orders produced upstream: an SMJ whose
+// input is already sorted in the join's attribute class skips that
+// input's sort term, and its output is sorted in that class; block
+// nested loop preserves the outer order; hash joins destroy order;
+// scans come in heap (unordered) and sorted variants.
+//
+// The plan-space partitioning is completely orthogonal to the order
+// dimension — the same constraints restrict the same table sets — which
+// demonstrates the paper's claim that the decomposition carries over to
+// DP variants with richer plan properties (Section 5.4).
+
+#ifndef MPQOPT_OPTIMIZER_IO_DP_H_
+#define MPQOPT_OPTIMIZER_IO_DP_H_
+
+#include "optimizer/dp.h"
+
+namespace mpqopt {
+
+/// Order-aware variant of RunPartitionDp; single-objective (kTime) only.
+/// Returned plans carry their true charged costs in the node cost fields,
+/// but those costs are not reproducible by the order-blind CostModel
+/// recomputation — validate structures with
+/// PlanValidationOptions::check_costs = false.
+StatusOr<DpResult> RunPartitionDpInterestingOrders(
+    const Query& query, const ConstraintSet& constraints,
+    const DpConfig& config);
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_OPTIMIZER_IO_DP_H_

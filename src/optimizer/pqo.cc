@@ -1,0 +1,381 @@
+// Copyright 2026 mpqopt authors.
+
+#include "optimizer/pqo.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "cost/cardinality.h"
+#include "partition/partition_index.h"
+
+namespace mpqopt {
+namespace {
+
+/// Product of two affine costs where at most one side actually depends on
+/// theta (join operands are disjoint table sets, so this always holds).
+AffineCost AffineMul(const AffineCost& x, const AffineCost& y) {
+  MPQOPT_DCHECK(x.slope == 0 || y.slope == 0);
+  if (x.slope == 0) return {x.constant * y.constant, x.constant * y.slope};
+  return {x.constant * y.constant, x.slope * y.constant};
+}
+
+/// Candidate evaluation points: 0, 1, and midpoints between consecutive
+/// pairwise crossings inside (0, 1). Within each resulting region the
+/// argmin line is constant, so evaluating the regions' midpoints finds
+/// every line that is minimal somewhere.
+std::vector<double> RegionProbes(const std::vector<AffineCost>& lines) {
+  std::vector<double> cuts = {0.0, 1.0};
+  for (size_t i = 0; i < lines.size(); ++i) {
+    for (size_t j = i + 1; j < lines.size(); ++j) {
+      const double denom = lines[i].slope - lines[j].slope;
+      if (denom == 0) continue;
+      const double theta = (lines[j].constant - lines[i].constant) / denom;
+      if (theta > 0 && theta < 1) cuts.push_back(theta);
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  std::vector<double> probes;
+  probes.push_back(0.0);
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    probes.push_back(0.5 * (cuts[i] + cuts[i + 1]));
+  }
+  probes.push_back(1.0);
+  return probes;
+}
+
+size_t ArgMinAt(const std::vector<AffineCost>& lines, double theta) {
+  size_t best = 0;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].At(theta) < lines[best].At(theta)) best = i;
+  }
+  return best;
+}
+
+/// One kept plan of a parametric memo slot.
+struct PqoRef {
+  AffineCost cost;
+  uint64_t left_bits = 0;
+  uint32_t left_idx = 0;
+  uint32_t right_idx = 0;
+  JoinAlgorithm alg = JoinAlgorithm::kScan;
+};
+
+struct PqoEntry {
+  AffineCost card;
+  std::vector<PqoRef> plans;
+};
+
+/// Drops plans that are nowhere minimal over [0, 1].
+void EnvelopePrune(std::vector<PqoRef>* plans) {
+  if (plans->size() <= 1) return;
+  std::vector<AffineCost> lines;
+  lines.reserve(plans->size());
+  for (const PqoRef& p : *plans) lines.push_back(p.cost);
+  std::vector<size_t> keep = LowerEnvelope(lines);
+  std::vector<PqoRef> pruned;
+  pruned.reserve(keep.size());
+  for (size_t idx : keep) pruned.push_back((*plans)[idx]);
+  plans->swap(pruned);
+}
+
+class ParametricDp {
+ public:
+  ParametricDp(const Query& query, const PartitionIndex& index,
+               const PqoConfig& config)
+      : query_(query),
+        index_(index),
+        config_(config),
+        model_(Objective::kTime, config.cost_options),
+        estimator_(query) {}
+
+  void Run(PqoResult* result) {
+    const int n = query_.num_tables();
+    memo_.assign(static_cast<size_t>(index_.size()), PqoEntry());
+    scan_entries_.resize(n);
+    for (int t = 0; t < n; ++t) {
+      PqoEntry& e = scan_entries_[t];
+      e.card = TableCard(t);
+      e.plans.push_back({e.card, 0, 0, 0, JoinAlgorithm::kScan});
+      const int64_t rank = index_.Rank(TableSet::Single(t));
+      if (rank >= 0) memo_[static_cast<size_t>(rank)] = e;
+    }
+    const bool linear = index_.space() == PlanSpace::kLinear;
+    for (int k = 2; k <= n; ++k) {
+      index_.ForEachSetOfCard(k, [&](TableSet u, int64_t rank) {
+        PqoEntry entry;
+        entry.card = SetCard(u);
+        if (linear) {
+          for (int t : u) {
+            if (!index_.InnerAllowed(t, u)) continue;
+            const int64_t lrank = index_.RankWithout(u, rank, t);
+            TrySplit(memo_[static_cast<size_t>(lrank)], scan_entries_[t],
+                     u.Without(t), &entry, result);
+          }
+        } else {
+          index_.ForEachSplit(
+              u, [&](TableSet left, int64_t lrank, int64_t rrank) {
+                TrySplit(memo_[static_cast<size_t>(lrank)],
+                         memo_[static_cast<size_t>(rrank)], left, &entry,
+                         result);
+              });
+        }
+        EnvelopePrune(&entry.plans);
+        MPQOPT_CHECK(!entry.plans.empty());
+        memo_[static_cast<size_t>(rank)] = std::move(entry);
+      });
+    }
+  }
+
+  const std::vector<PqoRef>& PlansOf(TableSet s) const {
+    return EntryOf(s).plans;
+  }
+
+  PlanId Build(TableSet s, uint32_t idx, PlanArena* arena) const {
+    const PqoEntry& e = EntryOf(s);
+    const PqoRef& p = e.plans[idx];
+    // PlanNode cost convention in PQO results: metric 0 = the affine
+    // constant, metric 1 = the slope; cardinality is taken at theta = 0.5.
+    const CostVector cost = CostVector::TimeBuffer(p.cost.constant,
+                                                   p.cost.slope);
+    if (s.Count() == 1) {
+      return arena->MakeScan(s.Lowest(), e.card.At(0.5), cost);
+    }
+    const TableSet left(p.left_bits);
+    const PlanId lid = Build(left, p.left_idx, arena);
+    const PlanId rid = Build(s.Minus(left), p.right_idx, arena);
+    return arena->MakeJoin(p.alg, lid, rid, e.card.At(0.5), cost);
+  }
+
+ private:
+  const PqoEntry& EntryOf(TableSet s) const {
+    if (s.Count() == 1) return scan_entries_[s.Lowest()];
+    const int64_t rank = index_.Rank(s);
+    MPQOPT_CHECK_GE(rank, 0);
+    return memo_[static_cast<size_t>(rank)];
+  }
+
+  AffineCost TableCard(int t) const {
+    const double base = query_.table(t).cardinality;
+    if (t == config_.parametric_table) {
+      return {base, base * config_.variability};
+    }
+    return AffineCost::Constant(base);
+  }
+
+  /// Affine cardinality of a table set (no one-row clamping — clamping
+  /// would break affinity; parametric costs may therefore dip below one
+  /// row for extremely selective queries, which only shifts envelopes).
+  AffineCost SetCard(TableSet s) const {
+    // Selectivity-scaled product of base cardinalities via the regular
+    // estimator, with the parametric factor applied on top.
+    double base = 1.0;
+    for (int t : s) base *= query_.table(t).cardinality;
+    double sel = estimator_.Cardinality(s) / base;  // combined selectivity
+    // Recompute without the estimator's clamp where possible.
+    const double unclamped = base * sel;
+    AffineCost card = AffineCost::Constant(unclamped);
+    if (s.Contains(config_.parametric_table)) {
+      card.slope = unclamped * config_.variability;
+    }
+    return card;
+  }
+
+  void TrySplit(const PqoEntry& le, const PqoEntry& re, TableSet left,
+                PqoEntry* entry, PqoResult* result) {
+    ++result->splits_tried;
+    const CostModelOptions& opts = config_.cost_options;
+    for (uint32_t li = 0; li < le.plans.size(); ++li) {
+      for (uint32_t ri = 0; ri < re.plans.size(); ++ri) {
+        const AffineCost base = le.plans[li].cost.Plus(re.plans[ri].cost);
+        const AffineCost out = entry->card.Scaled(opts.output_cost_factor);
+        // Block nested loop (smooth block model: |L| + |L||R|/B + out).
+        {
+          PqoRef cand;
+          cand.cost = base.Plus(le.card)
+                          .Plus(AffineMul(le.card.Scaled(1.0 / opts.block_size),
+                                          re.card))
+                          .Plus(out);
+          cand.left_bits = left.bits();
+          cand.left_idx = li;
+          cand.right_idx = ri;
+          cand.alg = JoinAlgorithm::kBlockNestedLoop;
+          entry->plans.push_back(cand);
+        }
+        // Hash join: c_h * (|L| + |R|) + out.
+        {
+          PqoRef cand;
+          cand.cost =
+              base.Plus(le.card.Plus(re.card).Scaled(opts.hash_constant))
+                  .Plus(out);
+          cand.left_bits = left.bits();
+          cand.left_idx = li;
+          cand.right_idx = ri;
+          cand.alg = JoinAlgorithm::kHashJoin;
+          entry->plans.push_back(cand);
+        }
+        if (entry->plans.size() > 64) EnvelopePrune(&entry->plans);
+      }
+    }
+  }
+
+  const Query& query_;
+  const PartitionIndex& index_;
+  const PqoConfig& config_;
+  CostModel model_;
+  CardinalityEstimator estimator_;
+  std::vector<PqoEntry> memo_;
+  std::vector<PqoEntry> scan_entries_;
+};
+
+/// Converts an envelope of (plan, line) pairs into interval-annotated
+/// PqoPlans ordered by theta.
+std::vector<PqoPlan> IntervalsFromEnvelope(
+    const std::vector<PlanId>& plans, const std::vector<AffineCost>& lines) {
+  MPQOPT_CHECK_EQ(plans.size(), lines.size());
+  std::vector<double> probes = RegionProbes(lines);
+  std::vector<PqoPlan> out;
+  // Region boundaries: reconstruct cut points from the probes (probes are
+  // 0, midpoints, 1; the winning line changes only at cuts).
+  std::vector<std::pair<double, size_t>> winners;  // (probe, argmin)
+  for (double theta : probes) {
+    winners.push_back({theta, ArgMinAt(lines, theta)});
+  }
+  size_t i = 0;
+  while (i < winners.size()) {
+    size_t j = i;
+    while (j + 1 < winners.size() &&
+           winners[j + 1].second == winners[i].second) {
+      ++j;
+    }
+    PqoPlan plan;
+    const size_t idx = winners[i].second;
+    plan.plan = plans[idx];
+    plan.cost = lines[idx];
+    // Interval endpoints: exact crossings with the neighbouring winners.
+    plan.theta_begin = out.empty() ? 0.0 : out.back().theta_end;
+    if (j + 1 < winners.size()) {
+      const AffineCost& a = lines[idx];
+      const AffineCost& b = lines[winners[j + 1].second];
+      const double denom = a.slope - b.slope;
+      plan.theta_end =
+          denom == 0 ? winners[j + 1].first
+                     : (b.constant - a.constant) / denom;
+    } else {
+      plan.theta_end = 1.0;
+    }
+    out.push_back(plan);
+    i = j + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<size_t> LowerEnvelope(const std::vector<AffineCost>& lines) {
+  std::vector<size_t> keep;
+  if (lines.empty()) return keep;
+  const std::vector<double> probes = RegionProbes(lines);
+  std::vector<bool> marked(lines.size(), false);
+  for (double theta : probes) {
+    marked[ArgMinAt(lines, theta)] = true;
+  }
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (marked[i]) keep.push_back(i);
+  }
+  return keep;
+}
+
+StatusOr<PqoResult> RunParametricDp(const Query& query,
+                                    const ConstraintSet& constraints,
+                                    const PqoConfig& config) {
+  Status valid = query.Validate();
+  if (!valid.ok()) return valid;
+  if (constraints.space() != config.space) {
+    return Status::InvalidArgument("constraint set is for the other space");
+  }
+  if (config.parametric_table < 0 ||
+      config.parametric_table >= query.num_tables()) {
+    return Status::InvalidArgument("parametric table out of range");
+  }
+  if (config.variability < 0) {
+    return Status::InvalidArgument("variability must be non-negative");
+  }
+  const PartitionIndex index(query.num_tables(), constraints);
+  if (index.size() > config.max_memo_entries) {
+    return Status::OutOfRange("plan space partition too large");
+  }
+
+  PqoResult result;
+  result.admissible_sets = index.size();
+  const auto start = std::chrono::steady_clock::now();
+  ParametricDp dp(query, index, config);
+  if (query.num_tables() == 1) {
+    const double card = query.table(0).cardinality;
+    PqoPlan plan;
+    plan.plan = result.arena.MakeScan(
+        0, card, CostVector::TimeBuffer(card, 0));
+    plan.cost = {card, config.parametric_table == 0
+                           ? card * config.variability
+                           : 0};
+    plan.theta_begin = 0;
+    plan.theta_end = 1;
+    result.plans.push_back(plan);
+  } else {
+    dp.Run(&result);
+    const TableSet all = query.all_tables();
+    std::vector<PlanId> plans;
+    std::vector<AffineCost> lines;
+    for (uint32_t i = 0; i < dp.PlansOf(all).size(); ++i) {
+      plans.push_back(dp.Build(all, i, &result.arena));
+      lines.push_back(dp.PlansOf(all)[i].cost);
+    }
+    result.plans = IntervalsFromEnvelope(plans, lines);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  return result;
+}
+
+StatusOr<PqoResult> ParallelParametricOptimize(const Query& query,
+                                               uint64_t num_partitions,
+                                               const PqoConfig& config) {
+  if (!IsPowerOfTwo(num_partitions)) {
+    return Status::InvalidArgument("partition count must be a power of two");
+  }
+  PqoResult merged;
+  std::vector<PlanId> plans;
+  std::vector<AffineCost> lines;
+  for (uint64_t part = 0; part < num_partitions; ++part) {
+    StatusOr<ConstraintSet> constraints = ConstraintSet::FromPartitionId(
+        query.num_tables(), config.space, part, num_partitions);
+    if (!constraints.ok()) return constraints.status();
+    StatusOr<PqoResult> result =
+        RunParametricDp(query, constraints.value(), config);
+    if (!result.ok()) return result.status();
+    merged.admissible_sets =
+        std::max(merged.admissible_sets, result.value().admissible_sets);
+    merged.splits_tried += result.value().splits_tried;
+    merged.seconds += result.value().seconds;
+    // Re-materialize the partition's envelope plans into the master arena
+    // (mirrors the master-side deserialization of worker responses).
+    for (const PqoPlan& plan : result.value().plans) {
+      plans.push_back(CopyPlan(result.value().arena, plan.plan,
+                               &merged.arena));
+      lines.push_back(plan.cost);
+    }
+  }
+  // Master final prune: global lower envelope over partition envelopes.
+  const std::vector<size_t> keep = LowerEnvelope(lines);
+  std::vector<PlanId> kept_plans;
+  std::vector<AffineCost> kept_lines;
+  for (size_t idx : keep) {
+    kept_plans.push_back(plans[idx]);
+    kept_lines.push_back(lines[idx]);
+  }
+  merged.plans = IntervalsFromEnvelope(kept_plans, kept_lines);
+  return merged;
+}
+
+}  // namespace mpqopt

@@ -1,0 +1,98 @@
+// Copyright 2026 mpqopt authors.
+
+#include "partition/constraints.h"
+
+namespace mpqopt {
+
+const char* PlanSpaceName(PlanSpace space) {
+  return space == PlanSpace::kLinear ? "linear" : "bushy";
+}
+
+uint64_t MaxWorkers(int num_tables, PlanSpace space) {
+  const int max_constraints = MaxConstraints(num_tables, space);
+  // Cap the shift to keep the result well-defined for very wide queries.
+  if (max_constraints >= 62) return uint64_t{1} << 62;
+  return uint64_t{1} << max_constraints;
+}
+
+uint64_t UsableWorkers(int num_tables, PlanSpace space, uint64_t workers) {
+  MPQOPT_CHECK_GE(workers, 1u);
+  const uint64_t max_workers = MaxWorkers(num_tables, space);
+  uint64_t usable = FloorPowerOfTwo(workers);
+  if (usable > max_workers) usable = max_workers;
+  return usable;
+}
+
+StatusOr<ConstraintSet> ConstraintSet::FromPartitionId(
+    int num_tables, PlanSpace space, uint64_t partition_id,
+    uint64_t num_partitions) {
+  if (!IsPowerOfTwo(num_partitions)) {
+    return Status::InvalidArgument("number of partitions must be 2^l");
+  }
+  if (num_partitions > MaxWorkers(num_tables, space)) {
+    return Status::InvalidArgument(
+        "partition count exceeds the maximum degree of parallelism for "
+        "this query size");
+  }
+  if (partition_id >= num_partitions) {
+    return Status::InvalidArgument("partition id out of range");
+  }
+  const int num_constraints = FloorLog2(num_partitions);
+  ConstraintSet out(space);
+  const int width = GroupWidth(space);
+  for (int i = 0; i < num_constraints; ++i) {
+    // Bit i of the partition id encodes the precedence direction of the
+    // constraint on the i-th table group (paper Algorithm 3).
+    const bool flipped = (partition_id >> i) & 1;
+    const int base = width * i;
+    if (space == PlanSpace::kLinear) {
+      if (!flipped) {
+        out.linear_.push_back({base, base + 1});
+      } else {
+        out.linear_.push_back({base + 1, base});
+      }
+    } else {
+      if (!flipped) {
+        out.bushy_.push_back({base, base + 1, base + 2});
+      } else {
+        out.bushy_.push_back({base + 1, base, base + 2});
+      }
+    }
+  }
+  return out;
+}
+
+bool ConstraintSet::Admits(TableSet s) const {
+  if (s.Count() <= 1) return true;
+  if (space_ == PlanSpace::kLinear) {
+    for (const LinearConstraint& c : linear_) {
+      if (s.Contains(c.after) && !s.Contains(c.before)) return false;
+    }
+  } else {
+    for (const BushyConstraint& c : bushy_) {
+      if (s.Contains(c.y) && s.Contains(c.z) && !s.Contains(c.x)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string ConstraintSet::ToString() const {
+  std::string out;
+  if (space_ == PlanSpace::kLinear) {
+    for (const LinearConstraint& c : linear_) {
+      if (!out.empty()) out += ", ";
+      out += "Q" + std::to_string(c.before) + " < Q" + std::to_string(c.after);
+    }
+  } else {
+    for (const BushyConstraint& c : bushy_) {
+      if (!out.empty()) out += ", ";
+      out += "Q" + std::to_string(c.x) + " <= Q" + std::to_string(c.y) + "|Q" +
+             std::to_string(c.z);
+    }
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+}  // namespace mpqopt

@@ -1,0 +1,60 @@
+// Copyright 2026 mpqopt authors.
+
+#include "plan/plan.h"
+
+namespace mpqopt {
+
+bool IsLeftDeep(const PlanArena& arena, PlanId id) {
+  const PlanNode& node = arena.node(id);
+  if (node.IsScan()) return true;
+  const PlanNode& right = arena.node(node.right);
+  if (!right.IsScan()) return false;
+  return IsLeftDeep(arena, node.left);
+}
+
+std::vector<int> LeftDeepJoinOrder(const PlanArena& arena, PlanId id) {
+  MPQOPT_CHECK(IsLeftDeep(arena, id));
+  std::vector<int> order;
+  // Walk down the left spine collecting inner tables, then reverse.
+  PlanId cur = id;
+  while (true) {
+    const PlanNode& node = arena.node(cur);
+    if (node.IsScan()) {
+      order.push_back(node.table);
+      break;
+    }
+    order.push_back(arena.node(node.right).table);
+    cur = node.left;
+  }
+  std::vector<int> reversed(order.rbegin(), order.rend());
+  return reversed;
+}
+
+std::string PlanToString(const PlanArena& arena, PlanId id) {
+  const PlanNode& node = arena.node(id);
+  if (node.IsScan()) {
+    return "R" + std::to_string(node.table);
+  }
+  return std::string(JoinAlgorithmName(node.algorithm)) + "(" +
+         PlanToString(arena, node.left) + ", " +
+         PlanToString(arena, node.right) + ")";
+}
+
+PlanId CopyPlan(const PlanArena& source, PlanId id, PlanArena* dest) {
+  const PlanNode& node = source.node(id);
+  if (node.IsScan()) {
+    return dest->MakeScan(node.table, node.cardinality, node.cost);
+  }
+  const PlanId left = CopyPlan(source, node.left, dest);
+  const PlanId right = CopyPlan(source, node.right, dest);
+  return dest->MakeJoin(node.algorithm, left, right, node.cardinality,
+                        node.cost);
+}
+
+int CountJoins(const PlanArena& arena, PlanId id) {
+  const PlanNode& node = arena.node(id);
+  if (node.IsScan()) return 0;
+  return 1 + CountJoins(arena, node.left) + CountJoins(arena, node.right);
+}
+
+}  // namespace mpqopt

@@ -1,0 +1,78 @@
+// Copyright 2026 mpqopt authors.
+
+#include "plan/plan_serde.h"
+
+namespace mpqopt {
+
+void SerializePlan(const PlanArena& arena, PlanId id, ByteWriter* writer) {
+  const PlanNode& node = arena.node(id);
+  writer->WriteU8(static_cast<uint8_t>(node.algorithm));
+  if (node.IsScan()) {
+    writer->WriteU32(static_cast<uint32_t>(node.table));
+  } else {
+    SerializePlan(arena, node.left, writer);
+    SerializePlan(arena, node.right, writer);
+  }
+  writer->WriteDouble(node.cardinality);
+  node.cost.Serialize(writer);
+}
+
+StatusOr<PlanId> DeserializePlan(ByteReader* reader, PlanArena* arena) {
+  uint8_t tag = 0;
+  Status s = reader->ReadU8(&tag);
+  if (!s.ok()) return s;
+  if (tag > static_cast<uint8_t>(JoinAlgorithm::kSortMergeJoin)) {
+    return Status::Corruption("bad plan node tag");
+  }
+  const auto alg = static_cast<JoinAlgorithm>(tag);
+  if (alg == JoinAlgorithm::kScan) {
+    uint32_t table = 0;
+    if (!(s = reader->ReadU32(&table)).ok()) return s;
+    if (table >= static_cast<uint32_t>(kMaxTables)) {
+      return Status::Corruption("scan table index out of range");
+    }
+    double card = 0;
+    if (!(s = reader->ReadDouble(&card)).ok()) return s;
+    StatusOr<CostVector> cost = CostVector::Deserialize(reader);
+    if (!cost.ok()) return cost.status();
+    return arena->MakeScan(static_cast<int>(table), card, cost.value());
+  }
+  StatusOr<PlanId> left = DeserializePlan(reader, arena);
+  if (!left.ok()) return left.status();
+  StatusOr<PlanId> right = DeserializePlan(reader, arena);
+  if (!right.ok()) return right.status();
+  if (arena->node(left.value())
+          .tables.Intersects(arena->node(right.value()).tables)) {
+    return Status::Corruption("join operands overlap");
+  }
+  double card = 0;
+  if (!(s = reader->ReadDouble(&card)).ok()) return s;
+  StatusOr<CostVector> cost = CostVector::Deserialize(reader);
+  if (!cost.ok()) return cost.status();
+  return arena->MakeJoin(alg, left.value(), right.value(), card,
+                         cost.value());
+}
+
+void SerializePlanSet(const PlanArena& arena, const std::vector<PlanId>& ids,
+                      ByteWriter* writer) {
+  writer->WriteU32(static_cast<uint32_t>(ids.size()));
+  for (PlanId id : ids) SerializePlan(arena, id, writer);
+}
+
+StatusOr<std::vector<PlanId>> DeserializePlanSet(ByteReader* reader,
+                                                 PlanArena* arena) {
+  uint32_t count = 0;
+  Status s = reader->ReadU32(&count);
+  if (!s.ok()) return s;
+  if (count > 1u << 24) return Status::Corruption("plan set too large");
+  std::vector<PlanId> ids;
+  ids.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    StatusOr<PlanId> id = DeserializePlan(reader, arena);
+    if (!id.ok()) return id.status();
+    ids.push_back(id.value());
+  }
+  return ids;
+}
+
+}  // namespace mpqopt

@@ -1,0 +1,95 @@
+// Copyright 2026 mpqopt authors.
+
+#include "plan/plan_validator.h"
+
+#include <cmath>
+
+#include "cost/cardinality.h"
+
+namespace mpqopt {
+namespace {
+
+bool Close(double a, double b, double rel_tol) {
+  const double scale = std::fmax(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= rel_tol * std::fmax(scale, 1.0);
+}
+
+Status ValidateNode(const PlanArena& arena, PlanId id, const Query& query,
+                    const CardinalityEstimator& estimator,
+                    const CostModel& model,
+                    const PlanValidationOptions& options) {
+  const PlanNode& node = arena.node(id);
+  if (node.IsScan()) {
+    if (node.table < 0 || node.table >= query.num_tables()) {
+      return Status::Corruption("scan of unknown table");
+    }
+    if (node.tables != TableSet::Single(node.table)) {
+      return Status::Corruption("scan table-set mismatch");
+    }
+    const double card = query.table(node.table).cardinality;
+    if (!Close(node.cardinality, card, options.relative_tolerance)) {
+      return Status::Corruption("scan cardinality mismatch");
+    }
+    if (options.check_costs) {
+      const CostVector expected = model.ScanCost(card);
+      for (int i = 0; i < expected.num_metrics(); ++i) {
+        if (!Close(node.cost[i], expected[i], options.relative_tolerance)) {
+          return Status::Corruption("scan cost mismatch");
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  const PlanNode& left = arena.node(node.left);
+  const PlanNode& right = arena.node(node.right);
+  if (left.tables.Intersects(right.tables)) {
+    return Status::Corruption("join operands overlap");
+  }
+  if (node.tables != left.tables.Union(right.tables)) {
+    return Status::Corruption("join table-set mismatch");
+  }
+  if (options.require_left_deep && !right.IsScan()) {
+    return Status::Corruption("plan is not left-deep");
+  }
+  if (options.constraints != nullptr &&
+      !options.constraints->Admits(node.tables)) {
+    return Status::Corruption(
+        "intermediate join result violates the partition constraints");
+  }
+  const double card = estimator.Cardinality(node.tables);
+  if (!Close(node.cardinality, card, options.relative_tolerance)) {
+    return Status::Corruption("join cardinality mismatch");
+  }
+  if (options.check_costs) {
+    const CostVector expected = model.JoinCost(node.algorithm, left.cost,
+                                               right.cost, left.cardinality,
+                                               right.cardinality, card);
+    for (int i = 0; i < expected.num_metrics(); ++i) {
+      if (!Close(node.cost[i], expected[i], options.relative_tolerance)) {
+        return Status::Corruption("join cost mismatch");
+      }
+    }
+  }
+  Status s = ValidateNode(arena, node.left, query, estimator, model, options);
+  if (!s.ok()) return s;
+  return ValidateNode(arena, node.right, query, estimator, model, options);
+}
+
+}  // namespace
+
+Status ValidatePlan(const PlanArena& arena, PlanId id, const Query& query,
+                    const CostModel& model,
+                    const PlanValidationOptions& options) {
+  const PlanNode& root = arena.node(id);
+  if (root.tables != query.all_tables()) {
+    return Status::Corruption("plan does not cover the full query");
+  }
+  if (root.tables.Count() != query.num_tables()) {
+    return Status::Corruption("plan covers wrong table count");
+  }
+  const CardinalityEstimator estimator(query);
+  return ValidateNode(arena, id, query, estimator, model, options);
+}
+
+}  // namespace mpqopt

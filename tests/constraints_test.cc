@@ -1,0 +1,171 @@
+// Copyright 2026 mpqopt authors.
+
+#include "partition/constraints.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace mpqopt {
+namespace {
+
+TEST(ConstraintsTest, GroupWidth) {
+  EXPECT_EQ(GroupWidth(PlanSpace::kLinear), 2);
+  EXPECT_EQ(GroupWidth(PlanSpace::kBushy), 3);
+}
+
+TEST(ConstraintsTest, MaxConstraints) {
+  EXPECT_EQ(MaxConstraints(8, PlanSpace::kLinear), 4);
+  EXPECT_EQ(MaxConstraints(9, PlanSpace::kLinear), 4);
+  EXPECT_EQ(MaxConstraints(9, PlanSpace::kBushy), 3);
+  EXPECT_EQ(MaxConstraints(11, PlanSpace::kBushy), 3);
+  EXPECT_EQ(MaxConstraints(2, PlanSpace::kBushy), 0);
+}
+
+TEST(ConstraintsTest, MaxWorkersMatchesPaperFormulas) {
+  // m <= 2^floor(n/2) for linear, 2^floor(n/3) for bushy (Section 5).
+  EXPECT_EQ(MaxWorkers(8, PlanSpace::kLinear), 16u);
+  EXPECT_EQ(MaxWorkers(16, PlanSpace::kLinear), 256u);
+  EXPECT_EQ(MaxWorkers(24, PlanSpace::kLinear), 4096u);
+  EXPECT_EQ(MaxWorkers(9, PlanSpace::kBushy), 8u);
+  EXPECT_EQ(MaxWorkers(15, PlanSpace::kBushy), 32u);
+  EXPECT_EQ(MaxWorkers(18, PlanSpace::kBushy), 64u);
+}
+
+TEST(ConstraintsTest, UsableWorkersRoundsDown) {
+  EXPECT_EQ(UsableWorkers(8, PlanSpace::kLinear, 100), 16u);  // cap
+  EXPECT_EQ(UsableWorkers(20, PlanSpace::kLinear, 100), 64u); // pow2 floor
+  EXPECT_EQ(UsableWorkers(20, PlanSpace::kLinear, 128), 128u);
+  EXPECT_EQ(UsableWorkers(4, PlanSpace::kBushy, 64), 2u);
+  EXPECT_EQ(UsableWorkers(2, PlanSpace::kBushy, 64), 1u);
+}
+
+TEST(ConstraintsTest, NoneHasNoConstraints) {
+  const ConstraintSet c = ConstraintSet::None(PlanSpace::kLinear);
+  EXPECT_EQ(c.num_constraints(), 0);
+  EXPECT_TRUE(c.Admits(TableSet::AllTables(6)));
+  EXPECT_EQ(c.ToString(), "(none)");
+}
+
+TEST(ConstraintsTest, FromPartitionIdRejectsNonPowerOfTwo) {
+  EXPECT_FALSE(
+      ConstraintSet::FromPartitionId(8, PlanSpace::kLinear, 0, 3).ok());
+}
+
+TEST(ConstraintsTest, FromPartitionIdRejectsTooManyPartitions) {
+  EXPECT_FALSE(
+      ConstraintSet::FromPartitionId(4, PlanSpace::kLinear, 0, 8).ok());
+  EXPECT_TRUE(
+      ConstraintSet::FromPartitionId(4, PlanSpace::kLinear, 0, 4).ok());
+}
+
+TEST(ConstraintsTest, FromPartitionIdRejectsIdOutOfRange) {
+  EXPECT_FALSE(
+      ConstraintSet::FromPartitionId(8, PlanSpace::kLinear, 4, 4).ok());
+}
+
+TEST(ConstraintsTest, PaperExampleFourTablesPartitionThree) {
+  // Paper Example 1: four tables R,S,T,U; partition id 10 binary (our
+  // 0-based id 2 = bits 01 reversed...): bit0 = 0 orders Q0 before Q1,
+  // bit1 = 1 orders Q3 before Q2.
+  StatusOr<ConstraintSet> c =
+      ConstraintSet::FromPartitionId(4, PlanSpace::kLinear, 2, 4);
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(c.value().linear().size(), 2u);
+  EXPECT_EQ(c.value().linear()[0].before, 0);
+  EXPECT_EQ(c.value().linear()[0].after, 1);
+  EXPECT_EQ(c.value().linear()[1].before, 3);
+  EXPECT_EQ(c.value().linear()[1].after, 2);
+}
+
+TEST(ConstraintsTest, ComplementaryPartitionsFlipDirections) {
+  StatusOr<ConstraintSet> a =
+      ConstraintSet::FromPartitionId(4, PlanSpace::kLinear, 0, 2);
+  StatusOr<ConstraintSet> b =
+      ConstraintSet::FromPartitionId(4, PlanSpace::kLinear, 1, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().linear()[0].before, b.value().linear()[0].after);
+  EXPECT_EQ(a.value().linear()[0].after, b.value().linear()[0].before);
+}
+
+TEST(ConstraintsTest, LinearAdmitsSemantics) {
+  StatusOr<ConstraintSet> c =
+      ConstraintSet::FromPartitionId(4, PlanSpace::kLinear, 0, 2);
+  ASSERT_TRUE(c.ok());  // constraint: Q0 before Q1
+  EXPECT_TRUE(c.value().Admits(TableSet::Single(0).With(1)));
+  EXPECT_TRUE(c.value().Admits(TableSet::Single(0).With(2)));
+  EXPECT_FALSE(c.value().Admits(TableSet::Single(1).With(2)));
+  EXPECT_TRUE(c.value().Admits(TableSet::AllTables(4)));
+  // Singletons are always admissible (scans handled separately).
+  EXPECT_TRUE(c.value().Admits(TableSet::Single(1)));
+}
+
+TEST(ConstraintsTest, BushyAdmitsSemantics) {
+  StatusOr<ConstraintSet> c =
+      ConstraintSet::FromPartitionId(6, PlanSpace::kBushy, 0, 2);
+  ASSERT_TRUE(c.ok());  // constraint: Q0 <= Q1 | Q2
+  // {Q1, Q2} without Q0 is the excluded combination.
+  EXPECT_FALSE(c.value().Admits(TableSet::Single(1).With(2)));
+  EXPECT_FALSE(c.value().Admits(TableSet::Single(1).With(2).With(4)));
+  EXPECT_TRUE(c.value().Admits(TableSet::Single(0).With(1).With(2)));
+  EXPECT_TRUE(c.value().Admits(TableSet::Single(1).With(4)));
+  EXPECT_TRUE(c.value().Admits(TableSet::Single(2)));
+}
+
+TEST(ConstraintsTest, BushyFlippedDirection) {
+  StatusOr<ConstraintSet> c =
+      ConstraintSet::FromPartitionId(6, PlanSpace::kBushy, 1, 2);
+  ASSERT_TRUE(c.ok());  // constraint: Q1 <= Q0 | Q2
+  EXPECT_FALSE(c.value().Admits(TableSet::Single(0).With(2)));
+  EXPECT_TRUE(c.value().Admits(TableSet::Single(1).With(2)));
+}
+
+TEST(ConstraintsTest, ToStringRendersConstraints) {
+  StatusOr<ConstraintSet> c =
+      ConstraintSet::FromPartitionId(4, PlanSpace::kLinear, 2, 4);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().ToString(), "Q0 < Q1, Q3 < Q2");
+}
+
+/// Every set must be admitted by at least one partition: union over
+/// partitions covers the whole power set (the coverage half of the
+/// partitioning correctness argument).
+class CoverageTest
+    : public ::testing::TestWithParam<std::tuple<int, int, PlanSpace>> {};
+
+TEST_P(CoverageTest, PartitionsCoverPowerSet) {
+  const auto [n, m, space] = GetParam();
+  std::vector<ConstraintSet> partitions;
+  for (int part = 0; part < m; ++part) {
+    StatusOr<ConstraintSet> c =
+        ConstraintSet::FromPartitionId(n, space, part, m);
+    ASSERT_TRUE(c.ok());
+    partitions.push_back(std::move(c).value());
+  }
+  for (uint64_t bits = 0; bits < (uint64_t{1} << n); ++bits) {
+    const TableSet s(bits);
+    bool admitted = false;
+    for (const ConstraintSet& c : partitions) {
+      if (c.Admits(s)) {
+        admitted = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(admitted) << s.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LinearAndBushy, CoverageTest,
+    ::testing::Values(std::make_tuple(4, 4, PlanSpace::kLinear),
+                      std::make_tuple(6, 8, PlanSpace::kLinear),
+                      std::make_tuple(7, 8, PlanSpace::kLinear),
+                      std::make_tuple(8, 16, PlanSpace::kLinear),
+                      std::make_tuple(10, 2, PlanSpace::kLinear),
+                      std::make_tuple(6, 4, PlanSpace::kBushy),
+                      std::make_tuple(9, 8, PlanSpace::kBushy),
+                      std::make_tuple(10, 8, PlanSpace::kBushy),
+                      std::make_tuple(11, 4, PlanSpace::kBushy)));
+
+}  // namespace
+}  // namespace mpqopt

@@ -1,0 +1,104 @@
+// Copyright 2026 mpqopt authors.
+
+#include "cost/cost_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/serialize.h"
+
+namespace mpqopt {
+namespace {
+
+TEST(CostVectorTest, ScalarConstruction) {
+  const CostVector c = CostVector::Scalar(42.5);
+  EXPECT_EQ(c.num_metrics(), 1);
+  EXPECT_DOUBLE_EQ(c.time(), 42.5);
+}
+
+TEST(CostVectorTest, TimeBufferConstruction) {
+  const CostVector c = CostVector::TimeBuffer(10, 20);
+  EXPECT_EQ(c.num_metrics(), 2);
+  EXPECT_DOUBLE_EQ(c[0], 10);
+  EXPECT_DOUBLE_EQ(c[1], 20);
+}
+
+TEST(CostVectorTest, PlusIsComponentWise) {
+  const CostVector a = CostVector::TimeBuffer(1, 2);
+  const CostVector b = CostVector::TimeBuffer(10, 20);
+  const CostVector s = a.Plus(b);
+  EXPECT_DOUBLE_EQ(s[0], 11);
+  EXPECT_DOUBLE_EQ(s[1], 22);
+}
+
+TEST(CostVectorTest, MaxIsComponentWise) {
+  const CostVector a = CostVector::TimeBuffer(1, 20);
+  const CostVector b = CostVector::TimeBuffer(10, 2);
+  const CostVector m = a.Max(b);
+  EXPECT_DOUBLE_EQ(m[0], 10);
+  EXPECT_DOUBLE_EQ(m[1], 20);
+}
+
+TEST(CostVectorTest, WeakDominance) {
+  const CostVector a = CostVector::TimeBuffer(1, 2);
+  const CostVector b = CostVector::TimeBuffer(1, 3);
+  EXPECT_TRUE(a.WeaklyDominates(b));
+  EXPECT_FALSE(b.WeaklyDominates(a));
+  EXPECT_TRUE(a.WeaklyDominates(a));  // reflexive
+}
+
+TEST(CostVectorTest, StrictDominanceRequiresStrictImprovement) {
+  const CostVector a = CostVector::TimeBuffer(1, 2);
+  EXPECT_FALSE(a.StrictlyDominates(a));
+  EXPECT_TRUE(a.StrictlyDominates(CostVector::TimeBuffer(1, 3)));
+  EXPECT_FALSE(a.StrictlyDominates(CostVector::TimeBuffer(0.5, 3)));
+}
+
+TEST(CostVectorTest, IncomparableVectors) {
+  const CostVector a = CostVector::TimeBuffer(1, 10);
+  const CostVector b = CostVector::TimeBuffer(10, 1);
+  EXPECT_FALSE(a.WeaklyDominates(b));
+  EXPECT_FALSE(b.WeaklyDominates(a));
+}
+
+TEST(CostVectorTest, AlphaDominanceRelaxesComparison) {
+  const CostVector a = CostVector::TimeBuffer(10, 10);
+  const CostVector b = CostVector::TimeBuffer(6, 6);
+  EXPECT_FALSE(a.WeaklyDominates(b));
+  EXPECT_TRUE(a.AlphaDominates(b, 2.0));   // 10 <= 2*6
+  EXPECT_FALSE(a.AlphaDominates(b, 1.5));  // 10 > 1.5*6
+}
+
+TEST(CostVectorTest, AlphaOneEqualsWeakDominance) {
+  const CostVector a = CostVector::TimeBuffer(3, 4);
+  const CostVector b = CostVector::TimeBuffer(3, 5);
+  EXPECT_EQ(a.AlphaDominates(b, 1.0), a.WeaklyDominates(b));
+  EXPECT_EQ(b.AlphaDominates(a, 1.0), b.WeaklyDominates(a));
+}
+
+TEST(CostVectorTest, SerializationRoundTrips) {
+  const CostVector c = CostVector::TimeBuffer(3.25, 7.5);
+  ByteWriter w;
+  c.Serialize(&w);
+  ByteReader r(w.buffer());
+  StatusOr<CostVector> back = CostVector::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().num_metrics(), 2);
+  EXPECT_DOUBLE_EQ(back.value()[0], 3.25);
+  EXPECT_DOUBLE_EQ(back.value()[1], 7.5);
+}
+
+TEST(CostVectorTest, DeserializeBadArityIsCorruption) {
+  ByteWriter w;
+  w.WriteU8(99);
+  ByteReader r(w.buffer());
+  EXPECT_FALSE(CostVector::Deserialize(&r).ok());
+}
+
+TEST(CostVectorTest, ToStringContainsValues) {
+  const std::string s = CostVector::TimeBuffer(1, 2).ToString();
+  EXPECT_NE(s.find("1.0"), std::string::npos);
+  EXPECT_NE(s.find("2.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpqopt

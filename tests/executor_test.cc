@@ -1,0 +1,132 @@
+// Copyright 2026 mpqopt authors.
+
+#include "cluster/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace mpqopt {
+namespace {
+
+WorkerTask Echo() {
+  return [](const std::vector<uint8_t>& request)
+             -> StatusOr<std::vector<uint8_t>> { return request; };
+}
+
+TEST(ExecutorTest, RunsAllTasksAndReturnsResponses) {
+  ClusterExecutor exec(NetworkModel{});
+  std::vector<WorkerTask> tasks(4, Echo());
+  std::vector<std::vector<uint8_t>> requests = {
+      {1}, {2, 2}, {3, 3, 3}, {4, 4, 4, 4}};
+  StatusOr<RoundResult> round = exec.RunRound(tasks, requests);
+  ASSERT_TRUE(round.ok());
+  ASSERT_EQ(round.value().responses.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(round.value().responses[i], requests[i]);
+  }
+}
+
+TEST(ExecutorTest, TrafficCountsBothDirections) {
+  ClusterExecutor exec(NetworkModel{});
+  std::vector<WorkerTask> tasks(2, Echo());
+  std::vector<std::vector<uint8_t>> requests = {{1, 2, 3}, {4, 5}};
+  StatusOr<RoundResult> round = exec.RunRound(tasks, requests);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value().traffic.bytes_sent, 2u * (3 + 2));
+  EXPECT_EQ(round.value().traffic.messages, 4u);  // 2 requests + 2 replies
+}
+
+TEST(ExecutorTest, FirstTaskErrorPropagates) {
+  ClusterExecutor exec(NetworkModel{}, 1);
+  std::vector<WorkerTask> tasks;
+  tasks.push_back(Echo());
+  tasks.push_back([](const std::vector<uint8_t>&)
+                      -> StatusOr<std::vector<uint8_t>> {
+    return Status::Internal("worker died");
+  });
+  std::vector<std::vector<uint8_t>> requests = {{1}, {2}};
+  StatusOr<RoundResult> round = exec.RunRound(tasks, requests);
+  EXPECT_FALSE(round.ok());
+  EXPECT_EQ(round.status().code(), StatusCode::kInternal);
+}
+
+TEST(ExecutorTest, SimulatedTimeIncludesPerTaskSetup) {
+  NetworkModel model;
+  model.task_setup_s = 0.5;
+  model.latency_s = 0;
+  model.bandwidth_bytes_per_s = 1e18;
+  ClusterExecutor exec(model);
+  std::vector<WorkerTask> tasks(8, Echo());
+  std::vector<std::vector<uint8_t>> requests(8, std::vector<uint8_t>{1});
+  StatusOr<RoundResult> round = exec.RunRound(tasks, requests);
+  ASSERT_TRUE(round.ok());
+  EXPECT_GE(round.value().simulated_seconds, 8 * 0.5);
+  EXPECT_LT(round.value().simulated_seconds, 8 * 0.5 + 1.0);
+}
+
+TEST(ExecutorTest, SimulatedTimeIsMaxNotSumOfWorkers) {
+  NetworkModel model;
+  model.task_setup_s = 0;
+  model.latency_s = 0;
+  ClusterExecutor exec(model, 1);
+  // Two tasks that each sleep ~30ms: modeled cluster time must reflect
+  // the slowest worker, not the serial sum measured on this host.
+  const WorkerTask sleeper =
+      [](const std::vector<uint8_t>& r) -> StatusOr<std::vector<uint8_t>> {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    return r;
+  };
+  std::vector<WorkerTask> tasks(2, sleeper);
+  std::vector<std::vector<uint8_t>> requests(2, std::vector<uint8_t>{1});
+  StatusOr<RoundResult> round = exec.RunRound(tasks, requests);
+  ASSERT_TRUE(round.ok());
+  const double max_compute = std::max(round.value().compute_seconds[0],
+                                      round.value().compute_seconds[1]);
+  EXPECT_NEAR(round.value().simulated_seconds, max_compute, 0.02);
+}
+
+TEST(ExecutorTest, ComputeSecondsMeasuredPerTask) {
+  ClusterExecutor exec(NetworkModel{}, 1);
+  const WorkerTask sleeper =
+      [](const std::vector<uint8_t>& r) -> StatusOr<std::vector<uint8_t>> {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return r;
+  };
+  std::vector<WorkerTask> tasks = {Echo(), sleeper};
+  std::vector<std::vector<uint8_t>> requests(2, std::vector<uint8_t>{1});
+  StatusOr<RoundResult> round = exec.RunRound(tasks, requests);
+  ASSERT_TRUE(round.ok());
+  EXPECT_LT(round.value().compute_seconds[0], 0.01);
+  EXPECT_GE(round.value().compute_seconds[1], 0.019);
+}
+
+TEST(ExecutorTest, EmptyRound) {
+  ClusterExecutor exec(NetworkModel{});
+  StatusOr<RoundResult> round = exec.RunRound({}, {});
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(round.value().responses.empty());
+  EXPECT_EQ(round.value().traffic.bytes_sent, 0u);
+}
+
+TEST(NetworkModelTest, TransferTimeFormula) {
+  NetworkModel model;
+  model.latency_s = 0.001;
+  model.bandwidth_bytes_per_s = 1000;
+  EXPECT_DOUBLE_EQ(model.TransferTime(500), 0.001 + 0.5);
+  EXPECT_DOUBLE_EQ(model.TransferTime(0), 0.001);
+}
+
+TEST(TrafficStatsTest, RecordAndMerge) {
+  TrafficStats a;
+  a.Record(100);
+  a.Record(50);
+  TrafficStats b;
+  b.Record(10);
+  a.Merge(b);
+  EXPECT_EQ(a.bytes_sent, 160u);
+  EXPECT_EQ(a.messages, 3u);
+}
+
+}  // namespace
+}  // namespace mpqopt

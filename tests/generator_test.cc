@@ -1,0 +1,139 @@
+// Copyright 2026 mpqopt authors.
+
+#include "catalog/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace mpqopt {
+namespace {
+
+GeneratorOptions WithShape(JoinGraphShape shape) {
+  GeneratorOptions opts;
+  opts.shape = shape;
+  return opts;
+}
+
+TEST(GeneratorTest, DeterministicAcrossInstances) {
+  QueryGenerator a(WithShape(JoinGraphShape::kStar), 123);
+  QueryGenerator b(WithShape(JoinGraphShape::kStar), 123);
+  const Query qa = a.Generate(8);
+  const Query qb = b.Generate(8);
+  ASSERT_EQ(qa.num_tables(), qb.num_tables());
+  for (int i = 0; i < qa.num_tables(); ++i) {
+    EXPECT_DOUBLE_EQ(qa.table(i).cardinality, qb.table(i).cardinality);
+  }
+  ASSERT_EQ(qa.predicates().size(), qb.predicates().size());
+  for (size_t i = 0; i < qa.predicates().size(); ++i) {
+    EXPECT_DOUBLE_EQ(qa.predicates()[i].selectivity,
+                     qb.predicates()[i].selectivity);
+  }
+}
+
+TEST(GeneratorTest, GeneratedQueriesValidate) {
+  QueryGenerator gen(WithShape(JoinGraphShape::kStar), 7);
+  for (int n : {1, 2, 3, 8, 16, 24}) {
+    EXPECT_TRUE(gen.Generate(n).Validate().ok()) << n << " tables";
+  }
+}
+
+TEST(GeneratorTest, CardinalitiesWithinConfiguredRange) {
+  GeneratorOptions opts = WithShape(JoinGraphShape::kChain);
+  opts.min_cardinality = 50;
+  opts.max_cardinality = 500;
+  QueryGenerator gen(opts, 3);
+  const Query q = gen.Generate(20);
+  for (const TableInfo& t : q.tables()) {
+    EXPECT_GE(t.cardinality, 50);
+    EXPECT_LE(t.cardinality, 500);
+  }
+}
+
+TEST(GeneratorTest, SelectivityMatchesSteinbrunnRule) {
+  QueryGenerator gen(WithShape(JoinGraphShape::kStar), 11);
+  const Query q = gen.Generate(10);
+  for (const JoinPredicate& p : q.predicates()) {
+    const double dl =
+        q.table(p.left_table).attribute_domains[p.left_attribute];
+    const double dr =
+        q.table(p.right_table).attribute_domains[p.right_attribute];
+    EXPECT_DOUBLE_EQ(p.selectivity, 1.0 / std::max(dl, dr));
+  }
+}
+
+using Edge = std::pair<int, int>;
+
+std::set<Edge> EdgesOf(const Query& q) {
+  std::set<Edge> edges;
+  for (const JoinPredicate& p : q.predicates()) {
+    edges.insert({std::min(p.left_table, p.right_table),
+                  std::max(p.left_table, p.right_table)});
+  }
+  return edges;
+}
+
+TEST(GeneratorTest, StarShape) {
+  QueryGenerator gen(WithShape(JoinGraphShape::kStar), 5);
+  const Query q = gen.Generate(6);
+  const std::set<Edge> edges = EdgesOf(q);
+  EXPECT_EQ(edges.size(), 5u);
+  for (const Edge& e : edges) EXPECT_EQ(e.first, 0);  // hub is table 0
+}
+
+TEST(GeneratorTest, ChainShape) {
+  QueryGenerator gen(WithShape(JoinGraphShape::kChain), 5);
+  const Query q = gen.Generate(6);
+  const std::set<Edge> edges = EdgesOf(q);
+  EXPECT_EQ(edges.size(), 5u);
+  for (int i = 0; i + 1 < 6; ++i) {
+    EXPECT_TRUE(edges.count({i, i + 1})) << i;
+  }
+}
+
+TEST(GeneratorTest, CycleShape) {
+  QueryGenerator gen(WithShape(JoinGraphShape::kCycle), 5);
+  const Query q = gen.Generate(6);
+  const std::set<Edge> edges = EdgesOf(q);
+  EXPECT_EQ(edges.size(), 6u);
+  EXPECT_TRUE(edges.count({0, 5}));
+}
+
+TEST(GeneratorTest, CliqueShape) {
+  QueryGenerator gen(WithShape(JoinGraphShape::kClique), 5);
+  const Query q = gen.Generate(6);
+  EXPECT_EQ(EdgesOf(q).size(), 15u);  // C(6,2)
+}
+
+TEST(GeneratorTest, SingleTableQueryHasNoPredicates) {
+  QueryGenerator gen(WithShape(JoinGraphShape::kStar), 5);
+  EXPECT_TRUE(gen.Generate(1).predicates().empty());
+}
+
+TEST(GeneratorTest, SuccessiveQueriesDiffer) {
+  QueryGenerator gen(WithShape(JoinGraphShape::kStar), 5);
+  const Query a = gen.Generate(8);
+  const Query b = gen.Generate(8);
+  bool any_difference = false;
+  for (int i = 0; i < 8; ++i) {
+    if (a.table(i).cardinality != b.table(i).cardinality) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GeneratorTest, DomainNeverExceedsCardinality) {
+  QueryGenerator gen(WithShape(JoinGraphShape::kStar), 23);
+  const Query q = gen.Generate(24);
+  for (const TableInfo& t : q.tables()) {
+    for (double d : t.attribute_domains) {
+      EXPECT_LE(d, std::max(2.0, t.cardinality));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpqopt

@@ -1,0 +1,86 @@
+// Copyright 2026 mpqopt authors.
+
+#include "exp/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace mpqopt {
+namespace {
+
+TEST(HarnessTest, EnvIntFallback) {
+  ::unsetenv("MPQOPT_TEST_KNOB");
+  EXPECT_EQ(EnvInt("MPQOPT_TEST_KNOB", 42), 42);
+}
+
+TEST(HarnessTest, EnvIntParses) {
+  ::setenv("MPQOPT_TEST_KNOB", "123", 1);
+  EXPECT_EQ(EnvInt("MPQOPT_TEST_KNOB", 42), 123);
+  ::setenv("MPQOPT_TEST_KNOB", "-7", 1);
+  EXPECT_EQ(EnvInt("MPQOPT_TEST_KNOB", 42), -7);
+  ::unsetenv("MPQOPT_TEST_KNOB");
+}
+
+TEST(HarnessTest, EnvIntGarbageFallsBack) {
+  ::setenv("MPQOPT_TEST_KNOB", "abc", 1);
+  EXPECT_EQ(EnvInt("MPQOPT_TEST_KNOB", 42), 42);
+  ::unsetenv("MPQOPT_TEST_KNOB");
+}
+
+TEST(HarnessTest, EnvDoubleParses) {
+  ::setenv("MPQOPT_TEST_KNOB", "2.5", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("MPQOPT_TEST_KNOB", 1.0), 2.5);
+  ::unsetenv("MPQOPT_TEST_KNOB");
+  EXPECT_DOUBLE_EQ(EnvDouble("MPQOPT_TEST_KNOB", 1.0), 1.0);
+}
+
+TEST(HarnessTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 2, 3}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({7}), 7);
+  EXPECT_DOUBLE_EQ(Median({}), 0);
+}
+
+TEST(HarnessTest, MedianRobustToOutlier) {
+  EXPECT_DOUBLE_EQ(Median({1, 2, 3, 4, 1000}), 3);
+}
+
+TEST(HarnessTest, Mean) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2);
+  EXPECT_DOUBLE_EQ(Mean({}), 0);
+}
+
+TEST(HarnessTest, ConfidenceInterval) {
+  EXPECT_DOUBLE_EQ(ConfidenceInterval95({5}), 0);
+  const double ci = ConfidenceInterval95({10, 12, 8, 11, 9});
+  EXPECT_GT(ci, 0);
+  EXPECT_LT(ci, 3);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"a", "workers"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"100", "30000"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("a    workers"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("100  30000"), std::string::npos);
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::FormatMillis(1.5), "1500.00");
+  EXPECT_EQ(TablePrinter::FormatBytes(1234), "1234");
+  EXPECT_EQ(TablePrinter::FormatCount(99.7), "100");
+  EXPECT_EQ(TablePrinter::FormatDouble(3.14159, 2), "3.14");
+}
+
+TEST(TablePrinterTest, ShortRowsTolerated) {
+  TablePrinter t({"x", "y", "z"});
+  t.AddRow({"1"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find('1'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpqopt

@@ -1,0 +1,156 @@
+// Copyright 2026 mpqopt authors.
+
+#include "mpq/heterogeneous.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/generator.h"
+#include "optimizer/dp.h"
+
+namespace mpqopt {
+namespace {
+
+Query RandomQuery(int n, uint64_t seed) {
+  GeneratorOptions opts;
+  opts.shape = JoinGraphShape::kStar;
+  QueryGenerator gen(opts, seed);
+  return gen.Generate(n);
+}
+
+TEST(AssignPartitionsTest, EqualSpeedsEqualShares) {
+  const auto shares = AssignPartitions({1, 1, 1, 1}, 16);
+  ASSERT_EQ(shares.size(), 4u);
+  for (const PartitionShare& share : shares) EXPECT_EQ(share.size(), 4u);
+}
+
+TEST(AssignPartitionsTest, ProportionalToSpeed) {
+  const auto shares = AssignPartitions({3, 1}, 16);
+  EXPECT_EQ(shares[0].size(), 12u);
+  EXPECT_EQ(shares[1].size(), 4u);
+}
+
+TEST(AssignPartitionsTest, SharesContiguousDisjointAndComplete) {
+  const auto shares = AssignPartitions({2.5, 1.0, 0.5, 4.0}, 32);
+  uint64_t next = 0;
+  uint64_t total = 0;
+  for (const PartitionShare& share : shares) {
+    EXPECT_EQ(share.begin, next);
+    next = share.end;
+    total += share.size();
+  }
+  EXPECT_EQ(next, 32u);
+  EXPECT_EQ(total, 32u);
+}
+
+TEST(AssignPartitionsTest, VerySlowWorkerMayGetNothing) {
+  const auto shares = AssignPartitions({100, 0.001}, 4);
+  EXPECT_EQ(shares[0].size(), 4u);
+  EXPECT_EQ(shares[1].size(), 0u);
+}
+
+TEST(AssignPartitionsTest, RemaindersDistributed) {
+  // 7 partitions over 3 equal workers: 3/2/2 (largest remainder).
+  const auto shares = AssignPartitions({1, 1, 1}, 7);
+  uint64_t total = 0;
+  for (const PartitionShare& share : shares) {
+    total += share.size();
+    EXPECT_GE(share.size(), 2u);
+    EXPECT_LE(share.size(), 3u);
+  }
+  EXPECT_EQ(total, 7u);
+}
+
+TEST(HeteroMpqTest, FindsSerialOptimum) {
+  const Query q = RandomQuery(10, 101);
+  DpConfig config;
+  config.space = PlanSpace::kLinear;
+  StatusOr<DpResult> serial = OptimizeSerial(q, config);
+  ASSERT_TRUE(serial.ok());
+  MpqOptions opts;
+  opts.space = PlanSpace::kLinear;
+  opts.num_workers = 32;  // plan-space partitions
+  HeteroMpqOptimizer mpq(opts, {4.0, 2.0, 1.0, 1.0});
+  StatusOr<MpqResult> result = mpq.Optimize(q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(
+      result.value().arena.node(result.value().best[0]).cost.time(),
+      serial.value().arena.node(serial.value().best[0]).cost.time());
+}
+
+TEST(HeteroMpqTest, MatchesHomogeneousMpq) {
+  const Query q = RandomQuery(10, 103);
+  MpqOptions opts;
+  opts.space = PlanSpace::kBushy;
+  opts.num_workers = 8;
+  MpqOptimizer homo(opts);
+  HeteroMpqOptimizer hetero(opts, {1.0, 3.0});
+  StatusOr<MpqResult> a = homo.Optimize(q);
+  StatusOr<MpqResult> b = hetero.Optimize(q);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a.value().arena.node(a.value().best[0]).cost.time(),
+                   b.value().arena.node(b.value().best[0]).cost.time());
+}
+
+TEST(HeteroMpqTest, OneTaskPerPhysicalWorker) {
+  const Query q = RandomQuery(8, 105);
+  MpqOptions opts;
+  opts.space = PlanSpace::kLinear;
+  opts.num_workers = 16;
+  HeteroMpqOptimizer mpq(opts, {2.0, 1.0, 1.0});
+  StatusOr<MpqResult> result = mpq.Optimize(q);
+  ASSERT_TRUE(result.ok());
+  // 3 physical workers -> 3 requests + 3 responses on the wire.
+  EXPECT_EQ(result.value().network_messages, 6u);
+  EXPECT_EQ(result.value().worker_seconds.size(), 3u);
+}
+
+TEST(HeteroMpqTest, ProportionalAssignmentBalancesSimulatedTime) {
+  // With shares proportional to speed, scaled per-worker times should be
+  // within a small factor of each other; with uniform shares on the same
+  // (heterogeneous) cluster, the slow worker dominates.
+  const Query q = RandomQuery(12, 107);
+  MpqOptions opts;
+  opts.space = PlanSpace::kLinear;
+  opts.num_workers = 64;
+  const std::vector<double> speeds = {4.0, 1.0};
+  HeteroMpqOptimizer mpq(opts, speeds);
+  StatusOr<MpqResult> result = mpq.Optimize(q);
+  ASSERT_TRUE(result.ok());
+  const auto& seconds = result.value().worker_seconds;
+  ASSERT_EQ(seconds.size(), 2u);
+  // 4x-speed worker got 4x the partitions: scaled times comparable.
+  EXPECT_LT(std::max(seconds[0], seconds[1]),
+            3.0 * std::min(seconds[0], seconds[1]));
+}
+
+TEST(HeteroMpqTest, MultiObjectiveRange) {
+  const Query q = RandomQuery(8, 109);
+  MpqOptions opts;
+  opts.space = PlanSpace::kLinear;
+  opts.objective = Objective::kTimeAndBuffer;
+  opts.alpha = 1.0;
+  opts.num_workers = 8;
+  HeteroMpqOptimizer hetero(opts, {1.0, 2.0});
+  MpqOptimizer homo(opts);
+  StatusOr<MpqResult> a = hetero.Optimize(q);
+  StatusOr<MpqResult> b = homo.Optimize(q);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Same merged frontier size and same best-time plan.
+  EXPECT_EQ(a.value().best.size(), b.value().best.size());
+}
+
+TEST(HeteroMpqTest, RejectsNonPowerOfTwoPartitions) {
+  const Query q = RandomQuery(8, 111);
+  MpqOptions opts;
+  opts.num_workers = 6;
+  HeteroMpqOptimizer mpq(opts, {1.0, 1.0});
+  EXPECT_FALSE(mpq.Optimize(q).ok());
+}
+
+TEST(HeteroMpqTest, WorkerMainRejectsGarbage) {
+  std::vector<uint8_t> garbage(40, 0xEE);
+  EXPECT_FALSE(HeteroMpqOptimizer::WorkerMain(garbage).ok());
+}
+
+}  // namespace
+}  // namespace mpqopt

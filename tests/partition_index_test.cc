@@ -1,0 +1,346 @@
+// Copyright 2026 mpqopt authors.
+
+#include "partition/partition_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace mpqopt {
+namespace {
+
+ConstraintSet Constraints(int n, PlanSpace space, uint64_t part, uint64_t m) {
+  StatusOr<ConstraintSet> c = ConstraintSet::FromPartitionId(n, space, part, m);
+  MPQOPT_CHECK(c.ok());
+  return std::move(c).value();
+}
+
+TEST(PartitionIndexTest, UnconstrainedSizeIsPowerSet) {
+  for (int n : {1, 2, 3, 5, 8, 10}) {
+    const PartitionIndex idx(n, ConstraintSet::None(PlanSpace::kLinear));
+    EXPECT_EQ(idx.size(), int64_t{1} << n) << n;
+  }
+}
+
+TEST(PartitionIndexTest, UnconstrainedBushySizeIsPowerSet) {
+  for (int n : {3, 6, 7, 9, 11}) {
+    const PartitionIndex idx(n, ConstraintSet::None(PlanSpace::kBushy));
+    EXPECT_EQ(idx.size(), int64_t{1} << n) << n;
+  }
+}
+
+TEST(PartitionIndexTest, LinearConstraintReducesByThreeQuarters) {
+  // Theorem 2: each constraint cuts admissible sets to 3/4.
+  for (int l = 0; l <= 4; ++l) {
+    const int n = 8;
+    const PartitionIndex idx(n,
+                             Constraints(n, PlanSpace::kLinear, 0, 1u << l));
+    const double expected = std::pow(2.0, n) * std::pow(0.75, l);
+    EXPECT_DOUBLE_EQ(static_cast<double>(idx.size()), expected) << l;
+  }
+}
+
+TEST(PartitionIndexTest, BushyConstraintReducesBySevenEighths) {
+  // Theorem 3: each constraint cuts admissible sets to 7/8.
+  for (int l = 0; l <= 3; ++l) {
+    const int n = 9;
+    const PartitionIndex idx(n, Constraints(n, PlanSpace::kBushy, 0, 1u << l));
+    const double expected = std::pow(2.0, n) * std::pow(7.0 / 8.0, l);
+    EXPECT_DOUBLE_EQ(static_cast<double>(idx.size()), expected) << l;
+  }
+}
+
+TEST(PartitionIndexTest, RankIsDenseBijection) {
+  const int n = 8;
+  const PartitionIndex idx(n, Constraints(n, PlanSpace::kLinear, 5, 16));
+  std::set<int64_t> ranks;
+  int64_t admissible = 0;
+  for (uint64_t bits = 0; bits < (uint64_t{1} << n); ++bits) {
+    const int64_t rank = idx.Rank(TableSet(bits));
+    if (rank >= 0) {
+      ++admissible;
+      EXPECT_LT(rank, idx.size());
+      EXPECT_TRUE(ranks.insert(rank).second) << "duplicate rank " << rank;
+    }
+  }
+  EXPECT_EQ(admissible, idx.size());
+  EXPECT_EQ(static_cast<int64_t>(ranks.size()), idx.size());
+}
+
+TEST(PartitionIndexTest, RankAgreesWithConstraintAdmits) {
+  const int n = 9;
+  for (PlanSpace space : {PlanSpace::kLinear, PlanSpace::kBushy}) {
+    const uint64_t m = MaxWorkers(n, space);
+    const ConstraintSet constraints = Constraints(n, space, m - 1, m);
+    const PartitionIndex idx(n, constraints);
+    for (uint64_t bits = 0; bits < (uint64_t{1} << n); ++bits) {
+      const TableSet s(bits);
+      // The ConstraintSet treats singletons as always admissible; the
+      // index keeps the product structure, so compare only |s| != 1.
+      if (s.Count() == 1) continue;
+      EXPECT_EQ(idx.Rank(s) >= 0, constraints.Admits(s)) << s.ToString();
+    }
+  }
+}
+
+TEST(PartitionIndexTest, EmptySetHasRankZero) {
+  const PartitionIndex idx(6, Constraints(6, PlanSpace::kLinear, 1, 4));
+  EXPECT_EQ(idx.Rank(TableSet::Empty()), 0);
+}
+
+TEST(PartitionIndexTest, CountSetsOfCardMatchesEnumeration) {
+  const int n = 10;
+  const PartitionIndex idx(n, Constraints(n, PlanSpace::kLinear, 3, 8));
+  int64_t total = 0;
+  for (int k = 0; k <= n; ++k) {
+    int64_t count = 0;
+    idx.ForEachSetOfCard(k, [&](TableSet s, int64_t rank) {
+      EXPECT_EQ(s.Count(), k);
+      EXPECT_EQ(idx.Rank(s), rank);
+      ++count;
+    });
+    EXPECT_EQ(count, idx.CountSetsOfCard(k)) << k;
+    total += count;
+  }
+  EXPECT_EQ(total, idx.size());
+}
+
+TEST(PartitionIndexTest, ForEachSetVisitsEverySetOnce) {
+  const int n = 8;
+  const PartitionIndex idx(n, Constraints(n, PlanSpace::kBushy, 1, 2));
+  std::set<uint64_t> seen;
+  idx.ForEachSet([&](TableSet s, int64_t rank) {
+    EXPECT_EQ(idx.Rank(s), rank);
+    EXPECT_TRUE(seen.insert(s.bits()).second);
+  });
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), idx.size());
+}
+
+TEST(PartitionIndexTest, RankWithoutMatchesRank) {
+  const int n = 8;
+  const PartitionIndex idx(n, Constraints(n, PlanSpace::kLinear, 9, 16));
+  idx.ForEachSet([&](TableSet u, int64_t rank) {
+    if (u.Count() < 2) return;
+    for (int t : u) {
+      if (!idx.InnerAllowed(t, u)) continue;
+      EXPECT_EQ(idx.RankWithout(u, rank, t), idx.Rank(u.Without(t)))
+          << u.ToString() << " minus " << t;
+    }
+  });
+}
+
+TEST(PartitionIndexTest, InnerAllowedSemantics) {
+  // Constraint set for partition 0 of 2: Q0 before Q1.
+  const PartitionIndex idx(4, Constraints(4, PlanSpace::kLinear, 0, 2));
+  const TableSet both = TableSet::Single(0).With(1).With(2);
+  EXPECT_FALSE(idx.InnerAllowed(0, both));  // 1 present, 0 must precede
+  EXPECT_TRUE(idx.InnerAllowed(1, both));
+  EXPECT_TRUE(idx.InnerAllowed(2, both));
+  const TableSet no_successor = TableSet::Single(0).With(2);
+  EXPECT_TRUE(idx.InnerAllowed(0, no_successor));
+}
+
+TEST(PartitionIndexTest, EveryAdmissibleSetHasAdmissibleInner) {
+  const int n = 8;
+  for (uint64_t part = 0; part < 16; ++part) {
+    const PartitionIndex idx(n, Constraints(n, PlanSpace::kLinear, part, 16));
+    idx.ForEachSet([&](TableSet u, int64_t) {
+      if (u.Count() < 2) return;
+      bool any = false;
+      for (int t : u) {
+        if (idx.InnerAllowed(t, u)) {
+          // The left remainder must be admissible too.
+          EXPECT_GE(idx.Rank(u.Without(t)), 0);
+          any = true;
+        }
+      }
+      EXPECT_TRUE(any) << u.ToString();
+    });
+  }
+}
+
+TEST(PartitionIndexTest, SplitsOnlyAdmissibleAndComplete) {
+  const int n = 9;
+  for (uint64_t part : {0ull, 3ull, 7ull}) {
+    const PartitionIndex idx(n, Constraints(n, PlanSpace::kBushy, part, 8));
+    idx.ForEachSet([&](TableSet u, int64_t) {
+      if (u.Count() < 2) return;
+      std::set<uint64_t> generated;
+      idx.ForEachSplit(u, [&](TableSet left, int64_t lrank, int64_t rrank) {
+        EXPECT_FALSE(left.IsEmpty());
+        EXPECT_NE(left, u);
+        EXPECT_TRUE(left.IsSubsetOf(u));
+        EXPECT_EQ(lrank, idx.Rank(left));
+        EXPECT_EQ(rrank, idx.Rank(u.Minus(left)));
+        EXPECT_GE(lrank, 0);
+        EXPECT_GE(rrank, 0);
+        EXPECT_TRUE(generated.insert(left.bits()).second);
+      });
+      // Completeness: every subset with both sides admissible is generated.
+      SubsetEnumerator subsets(u);
+      int64_t expected = 0;
+      while (subsets.Next()) {
+        const TableSet l = subsets.current();
+        if (idx.Contains(l) && idx.Contains(u.Minus(l))) ++expected;
+      }
+      EXPECT_EQ(static_cast<int64_t>(generated.size()), expected)
+          << u.ToString();
+    });
+  }
+}
+
+TEST(PartitionIndexTest, BushySplitCountMatchesTheorem7) {
+  // Per constrained triple, the ratio of admissible to possible operand
+  // pairs is 21/27 (Theorem 7). With n = 3l tables all in constrained
+  // triples, total splits (including the two trivial ones per set, which
+  // the theorem's counting also includes via the "absent" state) obey:
+  // sum over sets of (splits + 2) = 27^(n/3) * (21/27)^l.
+  for (const int l : {0, 1, 2, 3}) {
+    const int n = 9;
+    const PartitionIndex idx(n, Constraints(n, PlanSpace::kBushy, 0, 1u << l));
+    int64_t total_pairs = 0;  // ordered (left, right) incl. trivial
+    idx.ForEachSet([&](TableSet u, int64_t) {
+      if (u.Count() < 2) return;
+      int64_t count = 2;  // the two trivial splits are not emitted
+      idx.ForEachSplit(u, [&](TableSet, int64_t, int64_t) { ++count; });
+      total_pairs += count;
+    });
+    // Add the pairs for |u| < 2 that the closed formula counts: the empty
+    // set and singletons each contribute their own (trivial) splits.
+    // Instead of reverse-engineering those, compare against brute force.
+    int64_t brute = 0;
+    for (uint64_t bits = 0; bits < (uint64_t{1} << n); ++bits) {
+      const TableSet u(bits);
+      if (u.Count() < 2 || !idx.Contains(u)) continue;
+      SubsetEnumerator subsets(u);
+      brute += 2;
+      while (subsets.Next()) {
+        if (idx.Contains(subsets.current()) &&
+            idx.Contains(u.Minus(subsets.current()))) {
+          ++brute;
+        }
+      }
+    }
+    EXPECT_EQ(total_pairs, brute) << "l=" << l;
+    if (l > 0) {
+      // Reduction factor per constraint approximately 21/27 relative to
+      // the unconstrained total (exact for sets fully inside triples).
+      const PartitionIndex base(n, ConstraintSet::None(PlanSpace::kBushy));
+      EXPECT_LT(idx.CountAdmissibleSplits(), base.CountAdmissibleSplits());
+    }
+  }
+}
+
+TEST(PartitionIndexTest, CountAdmissibleSplitsExactFactor) {
+  // For n divisible by 3 and all triples constrained, the total number of
+  // (left, right, absent) assignments over admissible sets is exactly
+  // 27^(n/3) * (21/27)^l counting trivial splits; subtracting the two
+  // trivial splits per admissible set of any cardinality gives
+  // CountAdmissibleSplits() + corrections for |u| < 2. We verify the
+  // exact closed form on the full assignment count.
+  const int n = 9;
+  for (int l = 0; l <= 3; ++l) {
+    const PartitionIndex idx(n, Constraints(n, PlanSpace::kBushy, 0, 1u << l));
+    int64_t assignments = 0;  // splits incl. trivial, over ALL admissible u
+    idx.ForEachSet([&](TableSet u, int64_t) {
+      if (u.Count() >= 2) {
+        assignments += 2;
+        idx.ForEachSplit(u, [&](TableSet, int64_t, int64_t) { ++assignments; });
+      } else {
+        // |u| in {0, 1}: only the trivial assignments exist; count the
+        // subset pairs (l, u\l): empty set has 1, singleton has 2.
+        assignments += u.IsEmpty() ? 1 : 2;
+      }
+    });
+    const double expected = std::pow(27.0, 3) * std::pow(21.0 / 27.0, l);
+    EXPECT_DOUBLE_EQ(static_cast<double>(assignments), expected) << l;
+  }
+}
+
+/// Skew-freeness: all partitions of one decomposition have identical
+/// admissible-set counts and identical per-cardinality histograms.
+class SkewTest
+    : public ::testing::TestWithParam<std::tuple<int, int, PlanSpace>> {};
+
+TEST_P(SkewTest, AllPartitionsSameSize) {
+  const auto [n, m, space] = GetParam();
+  std::vector<int64_t> sizes;
+  std::vector<std::vector<int64_t>> histograms;
+  for (int part = 0; part < m; ++part) {
+    const PartitionIndex idx(n, Constraints(n, space, part, m));
+    sizes.push_back(idx.size());
+    std::vector<int64_t> hist;
+    for (int k = 0; k <= n; ++k) hist.push_back(idx.CountSetsOfCard(k));
+    histograms.push_back(std::move(hist));
+  }
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i], sizes[0]);
+    EXPECT_EQ(histograms[i], histograms[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Decompositions, SkewTest,
+    ::testing::Values(std::make_tuple(8, 16, PlanSpace::kLinear),
+                      std::make_tuple(10, 8, PlanSpace::kLinear),
+                      std::make_tuple(13, 32, PlanSpace::kLinear),
+                      std::make_tuple(9, 8, PlanSpace::kBushy),
+                      std::make_tuple(12, 16, PlanSpace::kBushy),
+                      std::make_tuple(14, 8, PlanSpace::kBushy)));
+
+/// Partition disjointness-and-coverage at the admissible-set level: every
+/// non-singleton set is admissible in exactly
+/// m * product over constrained groups of (its per-group share).
+class UnionCoverageTest
+    : public ::testing::TestWithParam<std::tuple<int, int, PlanSpace>> {};
+
+TEST_P(UnionCoverageTest, UnionOfPartitionsIsPowerSet) {
+  const auto [n, m, space] = GetParam();
+  std::vector<PartitionIndex> indexes;
+  indexes.reserve(m);
+  for (int part = 0; part < m; ++part) {
+    indexes.emplace_back(n, Constraints(n, space, part, m));
+  }
+  for (uint64_t bits = 0; bits < (uint64_t{1} << n); ++bits) {
+    const TableSet s(bits);
+    bool anywhere = false;
+    for (const PartitionIndex& idx : indexes) {
+      if (idx.Contains(s)) {
+        anywhere = true;
+        break;
+      }
+    }
+    if (s.Count() == 1) continue;  // singletons handled separately
+    EXPECT_TRUE(anywhere) << s.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Decompositions, UnionCoverageTest,
+    ::testing::Values(std::make_tuple(8, 16, PlanSpace::kLinear),
+                      std::make_tuple(9, 4, PlanSpace::kLinear),
+                      std::make_tuple(9, 8, PlanSpace::kBushy),
+                      std::make_tuple(11, 8, PlanSpace::kBushy)));
+
+TEST(PartitionIndexTest, LeftoverTablesUnconstrained) {
+  // n = 7 linear: three pairs + one leftover table (6).
+  const PartitionIndex idx(7, Constraints(7, PlanSpace::kLinear, 0, 8));
+  EXPECT_EQ(idx.size(), 27 * 2);  // 3^3 pair digits * 2 leftover states
+  EXPECT_TRUE(idx.Contains(TableSet::Single(6)));
+  EXPECT_TRUE(idx.Contains(TableSet::AllTables(7)));
+}
+
+TEST(PartitionIndexTest, SingleTableQuery) {
+  const PartitionIndex idx(1, ConstraintSet::None(PlanSpace::kLinear));
+  EXPECT_EQ(idx.size(), 2);  // {} and {0}
+  EXPECT_TRUE(idx.Contains(TableSet::Single(0)));
+}
+
+}  // namespace
+}  // namespace mpqopt

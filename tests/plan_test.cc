@@ -1,0 +1,110 @@
+// Copyright 2026 mpqopt authors.
+
+#include "plan/plan.h"
+
+#include <gtest/gtest.h>
+
+namespace mpqopt {
+namespace {
+
+/// Builds HJ(BNL(R0, R1), R2) — a left-deep 3-table plan.
+PlanId BuildLeftDeep(PlanArena* arena) {
+  const PlanId s0 = arena->MakeScan(0, 100, CostVector::Scalar(100));
+  const PlanId s1 = arena->MakeScan(1, 200, CostVector::Scalar(200));
+  const PlanId s2 = arena->MakeScan(2, 300, CostVector::Scalar(300));
+  const PlanId j01 = arena->MakeJoin(JoinAlgorithm::kBlockNestedLoop, s0, s1,
+                                     50, CostVector::Scalar(1000));
+  return arena->MakeJoin(JoinAlgorithm::kHashJoin, j01, s2, 10,
+                         CostVector::Scalar(2000));
+}
+
+/// Builds HJ(BNL(R0, R1), SMJ(R2, R3)) — bushy.
+PlanId BuildBushy(PlanArena* arena) {
+  const PlanId s0 = arena->MakeScan(0, 10, CostVector::Scalar(10));
+  const PlanId s1 = arena->MakeScan(1, 10, CostVector::Scalar(10));
+  const PlanId s2 = arena->MakeScan(2, 10, CostVector::Scalar(10));
+  const PlanId s3 = arena->MakeScan(3, 10, CostVector::Scalar(10));
+  const PlanId l = arena->MakeJoin(JoinAlgorithm::kBlockNestedLoop, s0, s1,
+                                   5, CostVector::Scalar(100));
+  const PlanId r = arena->MakeJoin(JoinAlgorithm::kSortMergeJoin, s2, s3, 5,
+                                   CostVector::Scalar(100));
+  return arena->MakeJoin(JoinAlgorithm::kHashJoin, l, r, 2,
+                         CostVector::Scalar(500));
+}
+
+TEST(PlanArenaTest, ScanNodeFields) {
+  PlanArena arena;
+  const PlanId id = arena.MakeScan(3, 500, CostVector::Scalar(500));
+  const PlanNode& node = arena.node(id);
+  EXPECT_TRUE(node.IsScan());
+  EXPECT_EQ(node.table, 3);
+  EXPECT_EQ(node.tables, TableSet::Single(3));
+  EXPECT_DOUBLE_EQ(node.cardinality, 500);
+  EXPECT_EQ(node.left, kInvalidPlanId);
+  EXPECT_EQ(node.right, kInvalidPlanId);
+}
+
+TEST(PlanArenaTest, JoinNodeUnionsTables) {
+  PlanArena arena;
+  const PlanId root = BuildLeftDeep(&arena);
+  EXPECT_EQ(arena.node(root).tables, TableSet::AllTables(3));
+  EXPECT_FALSE(arena.node(root).IsScan());
+}
+
+TEST(PlanArenaTest, SizeCountsNodes) {
+  PlanArena arena;
+  BuildLeftDeep(&arena);
+  EXPECT_EQ(arena.size(), 5u);  // 3 scans + 2 joins
+  EXPECT_GT(arena.MemoryBytes(), 0u);
+  arena.Clear();
+  EXPECT_EQ(arena.size(), 0u);
+}
+
+TEST(PlanShapeTest, LeftDeepDetection) {
+  PlanArena arena;
+  const PlanId ld = BuildLeftDeep(&arena);
+  EXPECT_TRUE(IsLeftDeep(arena, ld));
+  const PlanId bushy = BuildBushy(&arena);
+  EXPECT_FALSE(IsLeftDeep(arena, bushy));
+}
+
+TEST(PlanShapeTest, ScanIsLeftDeep) {
+  PlanArena arena;
+  const PlanId s = arena.MakeScan(0, 1, CostVector::Scalar(1));
+  EXPECT_TRUE(IsLeftDeep(arena, s));
+}
+
+TEST(PlanShapeTest, JoinOrderOfLeftDeepPlan) {
+  PlanArena arena;
+  const PlanId root = BuildLeftDeep(&arena);
+  EXPECT_EQ(LeftDeepJoinOrder(arena, root), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(PlanShapeTest, JoinOrderOfSingleScan) {
+  PlanArena arena;
+  const PlanId s = arena.MakeScan(7, 1, CostVector::Scalar(1));
+  EXPECT_EQ(LeftDeepJoinOrder(arena, s), (std::vector<int>{7}));
+}
+
+TEST(PlanPrintTest, RendersOperatorsAndTables) {
+  PlanArena arena;
+  const PlanId root = BuildLeftDeep(&arena);
+  EXPECT_EQ(PlanToString(arena, root), "HJ(BNL(R0, R1), R2)");
+}
+
+TEST(PlanPrintTest, RendersBushyShape) {
+  PlanArena arena;
+  const PlanId root = BuildBushy(&arena);
+  EXPECT_EQ(PlanToString(arena, root), "HJ(BNL(R0, R1), SMJ(R2, R3))");
+}
+
+TEST(PlanCountTest, CountJoins) {
+  PlanArena arena;
+  EXPECT_EQ(CountJoins(arena, BuildLeftDeep(&arena)), 2);
+  EXPECT_EQ(CountJoins(arena, BuildBushy(&arena)), 3);
+  EXPECT_EQ(CountJoins(arena, arena.MakeScan(0, 1, CostVector::Scalar(1))),
+            0);
+}
+
+}  // namespace
+}  // namespace mpqopt

@@ -1,0 +1,167 @@
+// Copyright 2026 mpqopt authors.
+
+#include "plan/plan_validator.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/cardinality.h"
+
+namespace mpqopt {
+namespace {
+
+Query TwoTableQuery() {
+  std::vector<TableInfo> tables(2);
+  tables[0].cardinality = 100;
+  tables[1].cardinality = 50;
+  for (auto& t : tables) t.attribute_domains = {10.0};
+  std::vector<JoinPredicate> preds = {{0, 0, 1, 0, 0.1}};
+  return Query(std::move(tables), std::move(preds));
+}
+
+/// Builds a correctly costed HJ(R0, R1) for TwoTableQuery().
+PlanId BuildCorrect(const Query& q, const CostModel& model,
+                    PlanArena* arena) {
+  const CardinalityEstimator est(q);
+  const PlanId s0 = arena->MakeScan(0, 100, model.ScanCost(100));
+  const PlanId s1 = arena->MakeScan(1, 50, model.ScanCost(50));
+  const double out = est.Cardinality(TableSet::AllTables(2));
+  return arena->MakeJoin(
+      JoinAlgorithm::kHashJoin, s0, s1, out,
+      model.JoinCost(JoinAlgorithm::kHashJoin, arena->node(s0).cost,
+                     arena->node(s1).cost, 100, 50, out));
+}
+
+TEST(PlanValidatorTest, AcceptsCorrectPlan) {
+  const Query q = TwoTableQuery();
+  const CostModel model(Objective::kTime);
+  PlanArena arena;
+  const PlanId root = BuildCorrect(q, model, &arena);
+  EXPECT_TRUE(ValidatePlan(arena, root, q, model).ok());
+}
+
+TEST(PlanValidatorTest, RejectsIncompletePlan) {
+  const Query q = TwoTableQuery();
+  const CostModel model(Objective::kTime);
+  PlanArena arena;
+  const PlanId scan = arena.MakeScan(0, 100, model.ScanCost(100));
+  EXPECT_FALSE(ValidatePlan(arena, scan, q, model).ok());
+}
+
+TEST(PlanValidatorTest, RejectsWrongCardinality) {
+  const Query q = TwoTableQuery();
+  const CostModel model(Objective::kTime);
+  PlanArena arena;
+  const PlanId s0 = arena.MakeScan(0, 100, model.ScanCost(100));
+  const PlanId s1 = arena.MakeScan(1, 50, model.ScanCost(50));
+  const PlanId root = arena.MakeJoin(
+      JoinAlgorithm::kHashJoin, s0, s1, 99999 /* wrong */,
+      model.JoinCost(JoinAlgorithm::kHashJoin, arena.node(s0).cost,
+                     arena.node(s1).cost, 100, 50, 99999));
+  EXPECT_FALSE(ValidatePlan(arena, root, q, model).ok());
+}
+
+TEST(PlanValidatorTest, RejectsWrongCost) {
+  const Query q = TwoTableQuery();
+  const CostModel model(Objective::kTime);
+  const CardinalityEstimator est(q);
+  PlanArena arena;
+  const PlanId s0 = arena.MakeScan(0, 100, model.ScanCost(100));
+  const PlanId s1 = arena.MakeScan(1, 50, model.ScanCost(50));
+  const double out = est.Cardinality(TableSet::AllTables(2));
+  const PlanId root = arena.MakeJoin(JoinAlgorithm::kHashJoin, s0, s1, out,
+                                     CostVector::Scalar(1) /* wrong */);
+  EXPECT_FALSE(ValidatePlan(arena, root, q, model).ok());
+}
+
+TEST(PlanValidatorTest, RejectsWrongScanCost) {
+  const Query q = TwoTableQuery();
+  const CostModel model(Objective::kTime);
+  const CardinalityEstimator est(q);
+  PlanArena arena;
+  const PlanId s0 = arena.MakeScan(0, 100, CostVector::Scalar(5) /* wrong */);
+  const PlanId s1 = arena.MakeScan(1, 50, model.ScanCost(50));
+  const double out = est.Cardinality(TableSet::AllTables(2));
+  const PlanId root = arena.MakeJoin(
+      JoinAlgorithm::kHashJoin, s0, s1, out,
+      model.JoinCost(JoinAlgorithm::kHashJoin, arena.node(s0).cost,
+                     arena.node(s1).cost, 100, 50, out));
+  EXPECT_FALSE(ValidatePlan(arena, root, q, model).ok());
+}
+
+TEST(PlanValidatorTest, LeftDeepRestriction) {
+  std::vector<TableInfo> tables(4);
+  for (auto& t : tables) {
+    t.cardinality = 10;
+    t.attribute_domains = {5.0};
+  }
+  const Query q(std::move(tables), {});
+  const CostModel model(Objective::kTime);
+  const CardinalityEstimator est(q);
+  PlanArena arena;
+  PlanId scans[4];
+  for (int i = 0; i < 4; ++i) {
+    scans[i] = arena.MakeScan(i, 10, model.ScanCost(10));
+  }
+  const auto join = [&](PlanId l, PlanId r) {
+    const TableSet t = arena.node(l).tables.Union(arena.node(r).tables);
+    const double out = est.Cardinality(t);
+    return arena.MakeJoin(
+        JoinAlgorithm::kHashJoin, l, r, out,
+        model.JoinCost(JoinAlgorithm::kHashJoin, arena.node(l).cost,
+                       arena.node(r).cost, arena.node(l).cardinality,
+                       arena.node(r).cardinality, out));
+  };
+  const PlanId bushy = join(join(scans[0], scans[1]), join(scans[2], scans[3]));
+  PlanValidationOptions opts;
+  EXPECT_TRUE(ValidatePlan(arena, bushy, q, model, opts).ok());
+  opts.require_left_deep = true;
+  EXPECT_FALSE(ValidatePlan(arena, bushy, q, model, opts).ok());
+}
+
+TEST(PlanValidatorTest, ConstraintComplianceChecked) {
+  std::vector<TableInfo> tables(4);
+  for (auto& t : tables) {
+    t.cardinality = 10;
+    t.attribute_domains = {5.0};
+  }
+  const Query q(std::move(tables), {});
+  const CostModel model(Objective::kTime);
+  const CardinalityEstimator est(q);
+  PlanArena arena;
+  PlanId scans[4];
+  for (int i = 0; i < 4; ++i) {
+    scans[i] = arena.MakeScan(i, 10, model.ScanCost(10));
+  }
+  const auto join = [&](PlanId l, PlanId r) {
+    const TableSet t = arena.node(l).tables.Union(arena.node(r).tables);
+    const double out = est.Cardinality(t);
+    return arena.MakeJoin(
+        JoinAlgorithm::kHashJoin, l, r, out,
+        model.JoinCost(JoinAlgorithm::kHashJoin, arena.node(l).cost,
+                       arena.node(r).cost, arena.node(l).cardinality,
+                       arena.node(r).cardinality, out));
+  };
+  // Left-deep join order 1, 0, 2, 3 — violates Q0 < Q1 because the
+  // intermediate result {1} ∪ {0} is preceded by result {1}... the
+  // violating intermediate is {1,0}'s predecessor {1} joined next with 0:
+  // the result {1, 0} contains both, but the FIRST join input was {1}
+  // alone, so the plan's intermediate {1} ∪ nothing is a scan (always
+  // admissible) and the first JOIN RESULT is {0,1}. The real violation
+  // under Q0 < Q1 is an intermediate containing 1 but not 0, e.g. order
+  // 1, 2, 0, 3 whose first join result is {1,2}.
+  const PlanId violating =
+      join(join(join(scans[1], scans[2]), scans[0]), scans[3]);
+  StatusOr<ConstraintSet> constraints = ConstraintSet::FromPartitionId(
+      4, PlanSpace::kLinear, /*partition_id=*/0, /*num_partitions=*/2);
+  ASSERT_TRUE(constraints.ok());
+  PlanValidationOptions opts;
+  opts.constraints = &constraints.value();
+  EXPECT_FALSE(ValidatePlan(arena, violating, q, model, opts).ok());
+  // Order 0, 1, 2, 3 complies.
+  const PlanId compliant =
+      join(join(join(scans[0], scans[1]), scans[2]), scans[3]);
+  EXPECT_TRUE(ValidatePlan(arena, compliant, q, model, opts).ok());
+}
+
+}  // namespace
+}  // namespace mpqopt

@@ -1,0 +1,105 @@
+// Copyright 2026 mpqopt authors.
+
+#include "cluster/process_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/generator.h"
+#include "mpq/mpq.h"
+
+namespace mpqopt {
+namespace {
+
+WorkerTask Echo() {
+  return [](const std::vector<uint8_t>& request)
+             -> StatusOr<std::vector<uint8_t>> { return request; };
+}
+
+TEST(ProcessExecutorTest, EchoAcrossProcessBoundary) {
+  ProcessExecutor exec(NetworkModel{});
+  std::vector<WorkerTask> tasks(3, Echo());
+  std::vector<std::vector<uint8_t>> requests = {{1, 2}, {}, {9, 9, 9}};
+  StatusOr<RoundResult> round = exec.RunRound(tasks, requests);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  ASSERT_EQ(round.value().responses.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(round.value().responses[i], requests[i]);
+  }
+}
+
+TEST(ProcessExecutorTest, ChildStateDoesNotLeakToParent) {
+  // The task mutates a global; with fork isolation, the parent's copy
+  // must be untouched — the defining shared-nothing property.
+  static int poisoned = 0;
+  const WorkerTask poisoner =
+      [](const std::vector<uint8_t>& r) -> StatusOr<std::vector<uint8_t>> {
+    poisoned = 42;
+    return r;
+  };
+  ProcessExecutor exec(NetworkModel{});
+  StatusOr<RoundResult> round = exec.RunRound({poisoner}, {{1}});
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(poisoned, 0);
+
+  // Contrast: the thread executor shares the address space.
+  ClusterExecutor threads(NetworkModel{}, 1);
+  ASSERT_TRUE(threads.RunRound({poisoner}, {{1}}).ok());
+  EXPECT_EQ(poisoned, 42);
+  poisoned = 0;
+}
+
+TEST(ProcessExecutorTest, WorkerErrorPropagates) {
+  const WorkerTask failing =
+      [](const std::vector<uint8_t>&) -> StatusOr<std::vector<uint8_t>> {
+    return Status::Corruption("bad payload");
+  };
+  ProcessExecutor exec(NetworkModel{});
+  StatusOr<RoundResult> round = exec.RunRound({failing}, {{1}});
+  EXPECT_FALSE(round.ok());
+  EXPECT_NE(round.status().message().find("bad payload"), std::string::npos);
+}
+
+TEST(ProcessExecutorTest, TrafficAccountingMatchesThreadExecutor) {
+  std::vector<WorkerTask> tasks(2, Echo());
+  std::vector<std::vector<uint8_t>> requests = {{1, 2, 3}, {4}};
+  ProcessExecutor procs(NetworkModel{});
+  ClusterExecutor threads(NetworkModel{}, 1);
+  StatusOr<RoundResult> a = procs.RunRound(tasks, requests);
+  StatusOr<RoundResult> b = threads.RunRound(tasks, requests);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().traffic.bytes_sent, b.value().traffic.bytes_sent);
+  EXPECT_EQ(a.value().traffic.messages, b.value().traffic.messages);
+}
+
+TEST(ProcessExecutorTest, MpqProcessModeMatchesThreadMode) {
+  GeneratorOptions gopts;
+  gopts.shape = JoinGraphShape::kStar;
+  QueryGenerator gen(gopts, 91);
+  const Query q = gen.Generate(8);
+
+  MpqOptions thread_opts;
+  thread_opts.space = PlanSpace::kLinear;
+  thread_opts.num_workers = 8;
+  MpqOptions process_opts = thread_opts;
+  process_opts.execution_mode = ExecutionMode::kProcesses;
+
+  MpqOptimizer threads(thread_opts);
+  MpqOptimizer procs(process_opts);
+  StatusOr<MpqResult> a = threads.Optimize(q);
+  StatusOr<MpqResult> b = procs.Optimize(q);
+  ASSERT_TRUE(a.ok() && b.ok()) << b.status().ToString();
+  EXPECT_DOUBLE_EQ(a.value().arena.node(a.value().best[0]).cost.time(),
+                   b.value().arena.node(b.value().best[0]).cost.time());
+  EXPECT_EQ(a.value().network_bytes, b.value().network_bytes);
+  EXPECT_EQ(a.value().max_worker_memo_sets, b.value().max_worker_memo_sets);
+}
+
+TEST(ProcessExecutorTest, EmptyRound) {
+  ProcessExecutor exec(NetworkModel{});
+  StatusOr<RoundResult> round = exec.RunRound({}, {});
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(round.value().responses.empty());
+}
+
+}  // namespace
+}  // namespace mpqopt

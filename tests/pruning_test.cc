@@ -1,0 +1,150 @@
+// Copyright 2026 mpqopt authors.
+
+#include "optimizer/pruning.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mpqopt {
+namespace {
+
+struct Item {
+  CostVector cost;
+  int id;
+};
+
+const CostVector& CostOf(const Item& item) { return item.cost; }
+
+TEST(ParetoInsertTest, InsertsIntoEmptySet) {
+  std::vector<Item> set;
+  EXPECT_TRUE(ParetoInsert(&set, {CostVector::TimeBuffer(1, 2), 0}, CostOf,
+                           1.0));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(ParetoInsertTest, RejectsDominatedCandidate) {
+  std::vector<Item> set;
+  ParetoInsert(&set, {CostVector::TimeBuffer(1, 1), 0}, CostOf, 1.0);
+  EXPECT_FALSE(ParetoInsert(&set, {CostVector::TimeBuffer(2, 2), 1}, CostOf,
+                            1.0));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(ParetoInsertTest, EvictsDominatedIncumbents) {
+  std::vector<Item> set;
+  ParetoInsert(&set, {CostVector::TimeBuffer(5, 1), 0}, CostOf, 1.0);
+  ParetoInsert(&set, {CostVector::TimeBuffer(1, 5), 1}, CostOf, 1.0);
+  ASSERT_EQ(set.size(), 2u);
+  // Dominates both incumbents.
+  EXPECT_TRUE(
+      ParetoInsert(&set, {CostVector::TimeBuffer(1, 1), 2}, CostOf, 1.0));
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set[0].id, 2);
+}
+
+TEST(ParetoInsertTest, KeepsIncomparablePlans) {
+  std::vector<Item> set;
+  ParetoInsert(&set, {CostVector::TimeBuffer(1, 10), 0}, CostOf, 1.0);
+  ParetoInsert(&set, {CostVector::TimeBuffer(10, 1), 1}, CostOf, 1.0);
+  ParetoInsert(&set, {CostVector::TimeBuffer(5, 5), 2}, CostOf, 1.0);
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(ParetoInsertTest, AlphaRejectsNearDuplicates) {
+  std::vector<Item> set;
+  ParetoInsert(&set, {CostVector::TimeBuffer(10, 10), 0}, CostOf, 2.0);
+  // Within factor 2 of the incumbent in both metrics -> rejected.
+  EXPECT_FALSE(
+      ParetoInsert(&set, {CostVector::TimeBuffer(6, 6), 1}, CostOf, 2.0));
+  // Better by more than factor 2 in one metric -> kept.
+  EXPECT_TRUE(
+      ParetoInsert(&set, {CostVector::TimeBuffer(4, 11), 2}, CostOf, 2.0));
+}
+
+TEST(ParetoInsertTest, TiesAreRejected) {
+  // Equal cost vectors: the incumbent alpha-dominates the candidate even
+  // at alpha = 1, so duplicates never accumulate.
+  std::vector<Item> set;
+  ParetoInsert(&set, {CostVector::TimeBuffer(3, 3), 0}, CostOf, 1.0);
+  EXPECT_FALSE(
+      ParetoInsert(&set, {CostVector::TimeBuffer(3, 3), 1}, CostOf, 1.0));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(ParetoInsertTest, SingleMetricBehavesLikeMin) {
+  std::vector<Item> set;
+  ParetoInsert(&set, {CostVector::Scalar(10), 0}, CostOf, 1.0);
+  EXPECT_FALSE(ParetoInsert(&set, {CostVector::Scalar(11), 1}, CostOf, 1.0));
+  EXPECT_TRUE(ParetoInsert(&set, {CostVector::Scalar(9), 2}, CostOf, 1.0));
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set[0].id, 2);
+}
+
+TEST(ParetoInsertTest, ExactFrontierIsMutuallyNonDominated) {
+  Rng rng(31);
+  std::vector<Item> set;
+  for (int i = 0; i < 1000; ++i) {
+    const CostVector c = CostVector::TimeBuffer(
+        rng.UniformDouble() * 100 + 1, rng.UniformDouble() * 100 + 1);
+    ParetoInsert(&set, {c, i}, CostOf, 1.0);
+  }
+  for (const Item& a : set) {
+    for (const Item& b : set) {
+      if (a.id == b.id) continue;
+      EXPECT_FALSE(a.cost.StrictlyDominates(b.cost));
+    }
+  }
+}
+
+TEST(ParetoInsertTest, FrontierAlphaCoversAllInsertedPoints) {
+  // The defining guarantee of the approximate pruning function: every
+  // point ever offered is alpha-covered by the final frontier.
+  for (double alpha : {1.0, 1.5, 10.0}) {
+    Rng rng(37);
+    std::vector<Item> set;
+    std::vector<CostVector> all;
+    for (int i = 0; i < 2000; ++i) {
+      const CostVector c = CostVector::TimeBuffer(
+          rng.UniformDouble() * 1e4 + 1, rng.UniformDouble() * 1e4 + 1);
+      all.push_back(c);
+      ParetoInsert(&set, {c, i}, CostOf, alpha);
+    }
+    std::vector<CostVector> frontier;
+    for (const Item& item : set) frontier.push_back(item.cost);
+    EXPECT_TRUE(AlphaCovers(frontier, all, alpha)) << "alpha=" << alpha;
+  }
+}
+
+TEST(ParetoInsertTest, LargerAlphaYieldsSmallerFrontier) {
+  Rng rng(41);
+  std::vector<CostVector> points;
+  for (int i = 0; i < 2000; ++i) {
+    points.push_back(CostVector::TimeBuffer(rng.UniformDouble() * 1e4 + 1,
+                                            rng.UniformDouble() * 1e4 + 1));
+  }
+  size_t previous = SIZE_MAX;
+  for (double alpha : {1.0, 1.25, 2.0, 10.0}) {
+    std::vector<Item> set;
+    int id = 0;
+    for (const CostVector& c : points) ParetoInsert(&set, {c, id++}, CostOf, alpha);
+    EXPECT_LE(set.size(), previous) << "alpha=" << alpha;
+    previous = set.size();
+  }
+}
+
+TEST(AlphaCoversTest, DetectsUncoveredPoint) {
+  const std::vector<CostVector> frontier = {CostVector::TimeBuffer(10, 10)};
+  const std::vector<CostVector> reference = {CostVector::TimeBuffer(1, 1)};
+  EXPECT_FALSE(AlphaCovers(frontier, reference, 2.0));
+  EXPECT_TRUE(AlphaCovers(frontier, reference, 10.0));
+}
+
+TEST(AlphaCoversTest, EmptyReferenceAlwaysCovered) {
+  EXPECT_TRUE(AlphaCovers({}, {}, 1.0));
+}
+
+}  // namespace
+}  // namespace mpqopt

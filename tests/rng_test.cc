@@ -1,0 +1,92 @@
+// Copyright 2026 mpqopt authors.
+
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mpqopt {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(3, 3), 3);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 4000; ++i) ++counts[rng.UniformInt(0, 3)];
+  for (int c : counts) EXPECT_GT(c, 800);  // each bucket near 1000
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, LogUniformWithinBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.LogUniformInt(10, 100000);
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 100000);
+  }
+}
+
+TEST(RngTest, LogUniformDecadesRoughlyBalanced) {
+  // Each decade [10,100), [100,1000), ... should receive a comparable
+  // share — the defining property of the Steinbrunn distribution.
+  Rng rng(19);
+  int decades[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 40000; ++i) {
+    const int64_t v = rng.LogUniformInt(10, 99999);
+    if (v < 100) {
+      ++decades[0];
+    } else if (v < 1000) {
+      ++decades[1];
+    } else if (v < 10000) {
+      ++decades[2];
+    } else {
+      ++decades[3];
+    }
+  }
+  for (int d : decades) {
+    EXPECT_GT(d, 8000);
+    EXPECT_LT(d, 12000);
+  }
+}
+
+}  // namespace
+}  // namespace mpqopt

@@ -1,0 +1,186 @@
+// Copyright 2026 mpqopt authors.
+
+#include "sma/sma.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/generator.h"
+#include "mpq/mpq.h"
+#include "optimizer/pruning.h"
+#include "plan/plan_validator.h"
+
+namespace mpqopt {
+namespace {
+
+Query RandomQuery(int n, uint64_t seed) {
+  GeneratorOptions opts;
+  opts.shape = JoinGraphShape::kStar;
+  QueryGenerator gen(opts, seed);
+  return gen.Generate(n);
+}
+
+SmaOptions Options(PlanSpace space, uint64_t workers) {
+  SmaOptions opts;
+  opts.space = space;
+  opts.num_workers = workers;
+  return opts;
+}
+
+TEST(SmaTest, FindsSerialOptimumLinear) {
+  const Query q = RandomQuery(8, 61);
+  DpConfig config;
+  config.space = PlanSpace::kLinear;
+  StatusOr<DpResult> serial = OptimizeSerial(q, config);
+  ASSERT_TRUE(serial.ok());
+  for (uint64_t m : {1u, 2u, 3u, 7u}) {
+    StatusOr<SmaResult> result = SmaOptimize(q, Options(PlanSpace::kLinear, m));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_DOUBLE_EQ(
+        result.value().arena.node(result.value().best[0]).cost.time(),
+        serial.value().arena.node(serial.value().best[0]).cost.time())
+        << m;
+  }
+}
+
+TEST(SmaTest, FindsSerialOptimumBushy) {
+  const Query q = RandomQuery(7, 63);
+  DpConfig config;
+  config.space = PlanSpace::kBushy;
+  StatusOr<DpResult> serial = OptimizeSerial(q, config);
+  ASSERT_TRUE(serial.ok());
+  StatusOr<SmaResult> result = SmaOptimize(q, Options(PlanSpace::kBushy, 4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(
+      result.value().arena.node(result.value().best[0]).cost.time(),
+      serial.value().arena.node(serial.value().best[0]).cost.time());
+}
+
+TEST(SmaTest, AgreesWithMpq) {
+  const Query q = RandomQuery(10, 65);
+  MpqOptions mpq_opts;
+  mpq_opts.space = PlanSpace::kLinear;
+  mpq_opts.num_workers = 8;
+  MpqOptimizer mpq(mpq_opts);
+  StatusOr<MpqResult> mpq_result = mpq.Optimize(q);
+  StatusOr<SmaResult> sma_result =
+      SmaOptimize(q, Options(PlanSpace::kLinear, 8));
+  ASSERT_TRUE(mpq_result.ok() && sma_result.ok());
+  EXPECT_DOUBLE_EQ(
+      mpq_result.value().arena.node(mpq_result.value().best[0]).cost.time(),
+      sma_result.value().arena.node(sma_result.value().best[0]).cost.time());
+}
+
+TEST(SmaTest, PlanValidates) {
+  const Query q = RandomQuery(8, 67);
+  StatusOr<SmaResult> result = SmaOptimize(q, Options(PlanSpace::kLinear, 4));
+  ASSERT_TRUE(result.ok());
+  const CostModel model(Objective::kTime);
+  PlanValidationOptions vopts;
+  vopts.require_left_deep = true;
+  EXPECT_TRUE(ValidatePlan(result.value().arena, result.value().best[0], q,
+                           model, vopts)
+                  .ok());
+}
+
+TEST(SmaTest, RoundsEqualLevels) {
+  const Query q = RandomQuery(8, 69);
+  StatusOr<SmaResult> result = SmaOptimize(q, Options(PlanSpace::kLinear, 4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rounds, 7);  // levels 2..8
+}
+
+TEST(SmaTest, NetworkGrowsWithWorkers) {
+  // The broadcastmakes SMA traffic grow linearly in m on top of an
+  // exponential-in-n base — the separation from MPQ in Figure 1.
+  const Query q = RandomQuery(10, 71);
+  uint64_t bytes1 = 0, bytes8 = 0;
+  {
+    StatusOr<SmaResult> r = SmaOptimize(q, Options(PlanSpace::kLinear, 1));
+    ASSERT_TRUE(r.ok());
+    bytes1 = r.value().network_bytes;
+  }
+  {
+    StatusOr<SmaResult> r = SmaOptimize(q, Options(PlanSpace::kLinear, 8));
+    ASSERT_TRUE(r.ok());
+    bytes8 = r.value().network_bytes;
+  }
+  EXPECT_GT(bytes8, bytes1 * 4);
+}
+
+TEST(SmaTest, NetworkGrowsExponentiallyWithQuerySize) {
+  uint64_t previous = 0;
+  for (int n : {8, 10, 12}) {
+    const Query q = RandomQuery(n, 73);
+    StatusOr<SmaResult> r = SmaOptimize(q, Options(PlanSpace::kLinear, 4));
+    ASSERT_TRUE(r.ok());
+    if (previous > 0) EXPECT_GT(r.value().network_bytes, 2 * previous);
+    previous = r.value().network_bytes;
+  }
+}
+
+TEST(SmaTest, SmaTrafficExceedsMpqTraffic) {
+  const Query q = RandomQuery(12, 75);
+  StatusOr<SmaResult> sma = SmaOptimize(q, Options(PlanSpace::kLinear, 8));
+  MpqOptions mpq_opts;
+  mpq_opts.space = PlanSpace::kLinear;
+  mpq_opts.num_workers = 8;
+  MpqOptimizer mpq(mpq_opts);
+  StatusOr<MpqResult> mpq_result = mpq.Optimize(q);
+  ASSERT_TRUE(sma.ok() && mpq_result.ok());
+  // The paper reports SMA needing orders of magnitude more bytes.
+  EXPECT_GT(sma.value().network_bytes,
+            mpq_result.value().network_bytes * 10);
+}
+
+TEST(SmaTest, MemoSizeIndependentOfWorkers) {
+  const Query q = RandomQuery(10, 77);
+  for (uint64_t m : {1u, 4u, 16u}) {
+    StatusOr<SmaResult> r = SmaOptimize(q, Options(PlanSpace::kLinear, m));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().max_worker_memo_sets, 1 << 10);
+  }
+}
+
+TEST(SmaTest, RejectsOversizedQuery) {
+  const Query q = RandomQuery(12, 79);
+  SmaOptions opts = Options(PlanSpace::kLinear, 2);
+  opts.max_tables = 10;
+  EXPECT_EQ(SmaOptimize(q, opts).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SmaTest, SingleTableQuery) {
+  const Query q = RandomQuery(1, 81);
+  StatusOr<SmaResult> r = SmaOptimize(q, Options(PlanSpace::kLinear, 2));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().arena.node(r.value().best[0]).IsScan());
+  EXPECT_EQ(r.value().rounds, 0);
+}
+
+TEST(SmaTest, MultiObjectiveFrontierCoversSerial) {
+  const Query q = RandomQuery(7, 83);
+  DpConfig config;
+  config.space = PlanSpace::kLinear;
+  config.objective = Objective::kTimeAndBuffer;
+  config.alpha = 1.0;
+  StatusOr<DpResult> serial = OptimizeSerial(q, config);
+  ASSERT_TRUE(serial.ok());
+
+  SmaOptions opts = Options(PlanSpace::kLinear, 4);
+  opts.objective = Objective::kTimeAndBuffer;
+  opts.alpha = 1.0;
+  StatusOr<SmaResult> result = SmaOptimize(q, opts);
+  ASSERT_TRUE(result.ok());
+
+  std::vector<CostVector> sma_frontier, serial_frontier;
+  for (PlanId id : result.value().best) {
+    sma_frontier.push_back(result.value().arena.node(id).cost);
+  }
+  for (PlanId id : serial.value().best) {
+    serial_frontier.push_back(serial.value().arena.node(id).cost);
+  }
+  EXPECT_TRUE(AlphaCovers(sma_frontier, serial_frontier, 1.0 + 1e-12));
+  EXPECT_TRUE(AlphaCovers(serial_frontier, sma_frontier, 1.0 + 1e-12));
+}
+
+}  // namespace
+}  // namespace mpqopt

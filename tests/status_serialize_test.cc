@@ -1,0 +1,155 @@
+// Copyright 2026 mpqopt authors.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace mpqopt {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad m");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad m");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad m");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v(std::string("abcdef"));
+  std::string out = std::move(v).value();
+  EXPECT_EQ(out, "abcdef");
+}
+
+TEST(SerializeTest, RoundTripScalars) {
+  ByteWriter w;
+  w.WriteU8(200);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(uint64_t{1} << 63);
+  w.WriteI64(-12345678901234LL);
+  w.WriteDouble(3.14159);
+  w.WriteString("hello");
+
+  ByteReader r(w.buffer());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double d = 0;
+  std::string s;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadI64(&i64).ok());
+  ASSERT_TRUE(r.ReadDouble(&d).ok());
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  EXPECT_EQ(u8, 200);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, uint64_t{1} << 63);
+  EXPECT_EQ(i64, -12345678901234LL);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, ByteSizesAreExact) {
+  ByteWriter w;
+  w.WriteU8(1);
+  EXPECT_EQ(w.size(), 1u);
+  w.WriteU32(1);
+  EXPECT_EQ(w.size(), 5u);
+  w.WriteU64(1);
+  EXPECT_EQ(w.size(), 13u);
+  w.WriteDouble(1.0);
+  EXPECT_EQ(w.size(), 21u);
+  w.WriteString("abc");  // 4-byte length + payload
+  EXPECT_EQ(w.size(), 28u);
+}
+
+TEST(SerializeTest, ReadPastEndIsCorruption) {
+  ByteWriter w;
+  w.WriteU8(7);
+  ByteReader r(w.buffer());
+  uint32_t v = 0;
+  EXPECT_EQ(r.ReadU32(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, TruncatedStringIsCorruption) {
+  ByteWriter w;
+  w.WriteU32(1000);  // claims a 1000-byte string with no payload
+  ByteReader r(w.buffer());
+  std::string s;
+  EXPECT_EQ(r.ReadString(&s).code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, EmptyBufferAtEnd) {
+  std::vector<uint8_t> empty;
+  ByteReader r(empty);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(MathUtilTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(uint64_t{1} << 40));
+  EXPECT_FALSE(IsPowerOfTwo((uint64_t{1} << 40) + 1));
+}
+
+TEST(MathUtilTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(1024), 10);
+  EXPECT_EQ(FloorLog2(1025), 10);
+}
+
+TEST(MathUtilTest, FloorPowerOfTwo) {
+  EXPECT_EQ(FloorPowerOfTwo(1), 1u);
+  EXPECT_EQ(FloorPowerOfTwo(100), 64u);
+  EXPECT_EQ(FloorPowerOfTwo(128), 128u);
+}
+
+TEST(MathUtilTest, IPow) {
+  EXPECT_EQ(IPow(3, 0), 1u);
+  EXPECT_EQ(IPow(3, 4), 81u);
+  EXPECT_EQ(IPow(2, 20), 1u << 20);
+}
+
+}  // namespace
+}  // namespace mpqopt

@@ -1,0 +1,142 @@
+// Copyright 2026 mpqopt authors.
+
+#include "common/table_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace mpqopt {
+namespace {
+
+TEST(TableSetTest, EmptySet) {
+  const TableSet s = TableSet::Empty();
+  EXPECT_TRUE(s.IsEmpty());
+  EXPECT_EQ(s.Count(), 0);
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_EQ(s.ToString(), "{}");
+}
+
+TEST(TableSetTest, Singleton) {
+  const TableSet s = TableSet::Single(5);
+  EXPECT_FALSE(s.IsEmpty());
+  EXPECT_EQ(s.Count(), 1);
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Lowest(), 5);
+  EXPECT_EQ(s.Highest(), 5);
+}
+
+TEST(TableSetTest, AllTables) {
+  const TableSet s = TableSet::AllTables(10);
+  EXPECT_EQ(s.Count(), 10);
+  for (int t = 0; t < 10; ++t) EXPECT_TRUE(s.Contains(t));
+  EXPECT_FALSE(s.Contains(10));
+}
+
+TEST(TableSetTest, AllTablesAtMaximumWidth) {
+  const TableSet s = TableSet::AllTables(kMaxTables);
+  EXPECT_EQ(s.Count(), kMaxTables);
+  EXPECT_TRUE(s.Contains(63));
+}
+
+TEST(TableSetTest, SetAlgebra) {
+  const TableSet a = TableSet::Single(0).With(2).With(4);
+  const TableSet b = TableSet::Single(2).With(3);
+  EXPECT_EQ(a.Union(b).Count(), 4);
+  EXPECT_EQ(a.Intersect(b), TableSet::Single(2));
+  EXPECT_EQ(a.Minus(b), TableSet::Single(0).With(4));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Minus(b).Intersects(b));
+}
+
+TEST(TableSetTest, SubsetRelations) {
+  const TableSet a = TableSet::Single(1).With(3);
+  const TableSet b = a.With(5);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(b.ContainsAll(a));
+  EXPECT_FALSE(a.ContainsAll(b));
+}
+
+TEST(TableSetTest, WithWithout) {
+  TableSet s = TableSet::Empty();
+  s = s.With(7);
+  EXPECT_TRUE(s.Contains(7));
+  s = s.Without(7);
+  EXPECT_TRUE(s.IsEmpty());
+  // Without on an absent table is a no-op.
+  EXPECT_EQ(TableSet::Single(1).Without(2), TableSet::Single(1));
+}
+
+TEST(TableSetTest, IterationVisitsAscending) {
+  const TableSet s = TableSet::Single(9).With(1).With(4);
+  std::vector<int> tables;
+  for (int t : s) tables.push_back(t);
+  EXPECT_EQ(tables, (std::vector<int>{1, 4, 9}));
+}
+
+TEST(TableSetTest, LowestHighest) {
+  const TableSet s = TableSet::Single(3).With(17).With(8);
+  EXPECT_EQ(s.Lowest(), 3);
+  EXPECT_EQ(s.Highest(), 17);
+}
+
+TEST(TableSetTest, ToStringFormat) {
+  EXPECT_EQ(TableSet::Single(0).With(3).With(5).ToString(), "{0,3,5}");
+}
+
+TEST(SubsetEnumeratorTest, EnumeratesProperNonEmptySubsets) {
+  const TableSet s = TableSet::Single(0).With(2).With(5);
+  SubsetEnumerator it(s);
+  std::set<uint64_t> seen;
+  while (it.Next()) {
+    const TableSet sub = it.current();
+    EXPECT_FALSE(sub.IsEmpty());
+    EXPECT_NE(sub, s);
+    EXPECT_TRUE(sub.IsSubsetOf(s));
+    EXPECT_TRUE(seen.insert(sub.bits()).second) << "duplicate subset";
+  }
+  EXPECT_EQ(seen.size(), 6u);  // 2^3 - 2
+}
+
+TEST(SubsetEnumeratorTest, EmptyAndSingletonHaveNoProperSubsets) {
+  SubsetEnumerator empty(TableSet::Empty());
+  EXPECT_FALSE(empty.Next());
+  SubsetEnumerator single(TableSet::Single(4));
+  EXPECT_FALSE(single.Next());
+}
+
+TEST(SubsetEnumeratorTest, PairHasTwoSubsets) {
+  SubsetEnumerator it(TableSet::Single(1).With(3));
+  int count = 0;
+  while (it.Next()) ++count;
+  EXPECT_EQ(count, 2);
+}
+
+TEST(TableSetHashTest, DistinctSetsUsuallyHashDistinct) {
+  TableSetHash hash;
+  std::set<size_t> hashes;
+  for (uint64_t bits = 0; bits < 512; ++bits) {
+    hashes.insert(hash(TableSet(bits)));
+  }
+  EXPECT_EQ(hashes.size(), 512u);
+}
+
+class SubsetCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubsetCountTest, CountMatchesFormula) {
+  const int n = GetParam();
+  SubsetEnumerator it(TableSet::AllTables(n));
+  int64_t count = 0;
+  while (it.Next()) ++count;
+  EXPECT_EQ(count, (int64_t{1} << n) - 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SubsetCountTest,
+                         ::testing::Values(2, 3, 4, 5, 8, 10, 12));
+
+}  // namespace
+}  // namespace mpqopt

@@ -1,0 +1,205 @@
+// Copyright 2026 mpqopt authors.
+//
+// mpqopt_cli — command-line front end to the optimizer library.
+//
+// Generates a Steinbrunn benchmark query (or a fixed-seed one) and runs
+// the requested optimizer variant, printing the plan(s), cost(s), and
+// cluster statistics. Intended for quick exploration and scripting:
+//
+//   mpqopt_cli --tables=16 --shape=star --workers=64 --space=linear
+//   mpqopt_cli --tables=12 --objective=mo --alpha=2 --workers=16
+//   mpqopt_cli --tables=10 --variant=pqo --parametric-table=0
+//   mpqopt_cli --tables=10 --variant=io --space=bushy
+//
+// Flags (all optional): --tables=N --shape=chain|star|cycle|clique
+// --space=linear|bushy --workers=M --seed=S --objective=time|mo
+// --alpha=A --variant=dp|io|pqo --parametric-table=T --processes
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "catalog/generator.h"
+#include "mpq/mpq.h"
+#include "optimizer/pqo.h"
+#include "plan/plan.h"
+
+namespace mpqopt {
+namespace {
+
+struct CliOptions {
+  int tables = 10;
+  JoinGraphShape shape = JoinGraphShape::kStar;
+  PlanSpace space = PlanSpace::kLinear;
+  uint64_t workers = 1;
+  uint64_t seed = 42;
+  Objective objective = Objective::kTime;
+  double alpha = 10.0;
+  std::string variant = "dp";
+  int parametric_table = 0;
+  bool processes = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "--tables", &v)) {
+      opts->tables = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--shape", &v)) {
+      if (v == "chain") {
+        opts->shape = JoinGraphShape::kChain;
+      } else if (v == "star") {
+        opts->shape = JoinGraphShape::kStar;
+      } else if (v == "cycle") {
+        opts->shape = JoinGraphShape::kCycle;
+      } else if (v == "clique") {
+        opts->shape = JoinGraphShape::kClique;
+      } else {
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--space", &v)) {
+      if (v == "linear") {
+        opts->space = PlanSpace::kLinear;
+      } else if (v == "bushy") {
+        opts->space = PlanSpace::kBushy;
+      } else {
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--workers", &v)) {
+      opts->workers = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--seed", &v)) {
+      opts->seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--objective", &v)) {
+      if (v == "time") {
+        opts->objective = Objective::kTime;
+      } else if (v == "mo") {
+        opts->objective = Objective::kTimeAndBuffer;
+      } else {
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--alpha", &v)) {
+      opts->alpha = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--variant", &v)) {
+      opts->variant = v;
+    } else if (ParseFlag(argv[i], "--parametric-table", &v)) {
+      opts->parametric_table = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--processes", &v)) {
+      opts->processes = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunPqo(const Query& query, const CliOptions& cli) {
+  PqoConfig config;
+  config.space = cli.space;
+  config.parametric_table = cli.parametric_table;
+  const uint64_t m =
+      UsableWorkers(query.num_tables(), cli.space, cli.workers);
+  StatusOr<PqoResult> result = ParallelParametricOptimize(query, m, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("parametric optimal set over theta in [0,1] (%llu partitions):\n",
+              static_cast<unsigned long long>(m));
+  for (const PqoPlan& plan : result.value().plans) {
+    std::printf("  [%.3f, %.3f)  cost = %.4g + %.4g*theta\n    %s\n",
+                plan.theta_begin, plan.theta_end, plan.cost.constant,
+                plan.cost.slope,
+                PlanToString(result.value().arena, plan.plan).c_str());
+  }
+  return 0;
+}
+
+int RunMpq(const Query& query, const CliOptions& cli) {
+  MpqOptions opts;
+  opts.space = cli.space;
+  opts.objective = cli.objective;
+  opts.alpha = cli.alpha;
+  opts.interesting_orders = cli.variant == "io";
+  opts.num_workers =
+      UsableWorkers(query.num_tables(), cli.space, cli.workers);
+  opts.execution_mode =
+      cli.processes ? ExecutionMode::kProcesses : ExecutionMode::kThreads;
+  if (opts.interesting_orders && opts.objective != Objective::kTime) {
+    std::fprintf(stderr, "interesting orders require --objective=time\n");
+    return 1;
+  }
+  MpqOptimizer mpq(opts);
+  StatusOr<MpqResult> result = mpq.Optimize(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const MpqResult& r = result.value();
+  std::printf("workers            %llu (%s)\n",
+              static_cast<unsigned long long>(opts.num_workers),
+              cli.processes ? "forked processes" : "threads");
+  std::printf("cluster time       %.2f ms (W-time %.2f ms)\n",
+              r.simulated_seconds * 1e3, r.max_worker_seconds * 1e3);
+  std::printf("memo relations     %lld per worker (max)\n",
+              static_cast<long long>(r.max_worker_memo_sets));
+  std::printf("network            %llu bytes in %llu messages\n",
+              static_cast<unsigned long long>(r.network_bytes),
+              static_cast<unsigned long long>(r.network_messages));
+  if (opts.objective == Objective::kTime) {
+    std::printf("best plan          %s\n",
+                PlanToString(r.arena, r.best[0]).c_str());
+    std::printf("estimated cost     %.6g work units\n",
+                r.arena.node(r.best[0]).cost.time());
+  } else {
+    std::printf("Pareto frontier    %zu plans (alpha = %g)\n", r.best.size(),
+                cli.alpha);
+    for (PlanId id : r.best) {
+      std::printf("  time %.6g  buffer %.6g\n", r.arena.node(id).cost[0],
+                  r.arena.node(id).cost[1]);
+    }
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) {
+    std::fprintf(
+        stderr,
+        "usage: %s [--tables=N] [--shape=chain|star|cycle|clique]\n"
+        "          [--space=linear|bushy] [--workers=M] [--seed=S]\n"
+        "          [--objective=time|mo] [--alpha=A]\n"
+        "          [--variant=dp|io|pqo] [--parametric-table=T]\n"
+        "          [--processes]\n",
+        argv[0]);
+    return 2;
+  }
+  GeneratorOptions gen_opts;
+  gen_opts.shape = cli.shape;
+  QueryGenerator generator(gen_opts, cli.seed);
+  const Query query = generator.Generate(cli.tables);
+  std::printf("%s", query.ToString().c_str());
+  std::printf("plan space         %s\n", PlanSpaceName(cli.space));
+  if (cli.variant == "pqo") return RunPqo(query, cli);
+  return RunMpq(query, cli);
+}
+
+}  // namespace
+}  // namespace mpqopt
+
+int main(int argc, char** argv) { return mpqopt::Main(argc, argv); }
