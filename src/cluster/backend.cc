@@ -1,0 +1,64 @@
+// Copyright 2026 mpqopt authors.
+
+#include "cluster/backend.h"
+
+#include "cluster/async_batch_backend.h"
+#include "cluster/process_backend.h"
+#include "cluster/thread_backend.h"
+
+namespace mpqopt {
+
+void ExecutionBackend::FinalizeRound(
+    const std::vector<std::vector<uint8_t>>& requests,
+    RoundResult* result) const {
+  const size_t num_tasks = requests.size();
+  MPQOPT_CHECK_EQ(result->responses.size(), num_tasks);
+  MPQOPT_CHECK_EQ(result->compute_seconds.size(), num_tasks);
+  double slowest = 0;
+  for (size_t i = 0; i < num_tasks; ++i) {
+    result->traffic.Record(requests[i].size());
+    result->traffic.Record(result->responses[i].size());
+    const double worker_total = model_.TransferTime(requests[i].size()) +
+                                result->compute_seconds[i] +
+                                model_.TransferTime(result->responses[i].size());
+    if (worker_total > slowest) slowest = worker_total;
+  }
+  result->simulated_seconds =
+      static_cast<double>(num_tasks) * model_.task_setup_s + slowest;
+}
+
+const char* BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kThread:
+      return "thread";
+    case BackendKind::kProcess:
+      return "process";
+    case BackendKind::kAsyncBatch:
+      return "async";
+  }
+  return "unknown";
+}
+
+StatusOr<BackendKind> ParseBackendKind(const std::string& name) {
+  if (name == "thread" || name == "threads") return BackendKind::kThread;
+  if (name == "process" || name == "processes") return BackendKind::kProcess;
+  if (name == "async" || name == "async-batch") return BackendKind::kAsyncBatch;
+  return Status::InvalidArgument("unknown backend '" + name +
+                                 "' (expected thread|process|async)");
+}
+
+std::shared_ptr<ExecutionBackend> MakeBackend(BackendKind kind,
+                                              NetworkModel model,
+                                              int max_threads) {
+  switch (kind) {
+    case BackendKind::kThread:
+      return std::make_shared<ThreadBackend>(model, max_threads);
+    case BackendKind::kProcess:
+      return std::make_shared<ProcessBackend>(model);
+    case BackendKind::kAsyncBatch:
+      return std::make_shared<AsyncBatchBackend>(model, max_threads);
+  }
+  return nullptr;
+}
+
+}  // namespace mpqopt

@@ -1,6 +1,6 @@
 // Copyright 2026 mpqopt authors.
 
-#include "cluster/process_executor.h"
+#include "cluster/process_backend.h"
 
 #include <sys/wait.h>
 #include <unistd.h>
@@ -45,7 +45,7 @@ bool ReadAll(int fd, void* data, size_t n) {
 
 }  // namespace
 
-StatusOr<RoundResult> ProcessExecutor::RunRound(
+StatusOr<RoundResult> ProcessBackend::RunRound(
     const std::vector<WorkerTask>& tasks,
     const std::vector<std::vector<uint8_t>>& requests) {
   MPQOPT_CHECK_EQ(tasks.size(), requests.size());
@@ -54,6 +54,8 @@ StatusOr<RoundResult> ProcessExecutor::RunRound(
   result.responses.resize(num_tasks);
   result.compute_seconds.assign(num_tasks, 0.0);
 
+  // See the header: concurrent rounds must not interleave pipe()/fork().
+  std::lock_guard<std::mutex> fork_lock(fork_mutex_);
   const auto round_start = std::chrono::steady_clock::now();
   for (size_t i = 0; i < num_tasks; ++i) {
     int pipe_fds[2];
@@ -124,18 +126,7 @@ StatusOr<RoundResult> ProcessExecutor::RunRound(
   result.wall_seconds =
       std::chrono::duration<double>(round_end - round_start).count();
 
-  // Identical modeled-time accounting as the thread executor.
-  double slowest = 0;
-  for (size_t i = 0; i < num_tasks; ++i) {
-    result.traffic.Record(requests[i].size());
-    result.traffic.Record(result.responses[i].size());
-    const double worker_total = model_.TransferTime(requests[i].size()) +
-                                result.compute_seconds[i] +
-                                model_.TransferTime(result.responses[i].size());
-    if (worker_total > slowest) slowest = worker_total;
-  }
-  result.simulated_seconds =
-      static_cast<double>(num_tasks) * model_.task_setup_s + slowest;
+  FinalizeRound(requests, &result);
   return result;
 }
 

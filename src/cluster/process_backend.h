@@ -8,36 +8,41 @@
 // worker is visible to the master or to other workers), so any hidden
 // reliance on shared optimizer state would break here.
 //
-// The thread-based ClusterExecutor remains the default (cheaper, easier
-// to debug); MpqOptions::execution_mode selects between them. Both
-// produce identical results and identical byte counts — a property the
-// integration tests assert.
+// ThreadBackend remains the default (cheaper, easier to debug). All
+// backends produce identical results and identical byte counts — a
+// property tests/backend_test.cc asserts.
 
-#ifndef MPQOPT_CLUSTER_PROCESS_EXECUTOR_H_
-#define MPQOPT_CLUSTER_PROCESS_EXECUTOR_H_
+#ifndef MPQOPT_CLUSTER_PROCESS_BACKEND_H_
+#define MPQOPT_CLUSTER_PROCESS_BACKEND_H_
 
-#include "cluster/executor.h"
+#include <mutex>
+
+#include "cluster/backend.h"
 
 namespace mpqopt {
 
 /// Runs rounds of worker tasks in forked child processes.
-class ProcessExecutor {
+class ProcessBackend : public ExecutionBackend {
  public:
-  explicit ProcessExecutor(NetworkModel model) : model_(model) {}
+  explicit ProcessBackend(NetworkModel model) : ExecutionBackend(model) {}
 
   /// Runs one round; task i is executed in its own child process with
   /// requests[i]. Children run sequentially (fork, execute, reap) so
   /// per-task compute timing stays unpolluted on oversubscribed hosts.
+  /// Concurrent RunRound calls are serialized on a backend-wide mutex:
+  /// interleaved pipe()/fork() from multiple threads would leak each
+  /// round's pipe write-ends into the other round's children, turning a
+  /// crashed worker into a parent-side hang instead of a clean error.
   StatusOr<RoundResult> RunRound(const std::vector<WorkerTask>& tasks,
                                  const std::vector<std::vector<uint8_t>>&
-                                     requests);
+                                     requests) override;
 
-  const NetworkModel& network() const { return model_; }
+  const char* name() const override { return "process"; }
 
  private:
-  NetworkModel model_;
+  std::mutex fork_mutex_;
 };
 
 }  // namespace mpqopt
 
-#endif  // MPQOPT_CLUSTER_PROCESS_EXECUTOR_H_
+#endif  // MPQOPT_CLUSTER_PROCESS_BACKEND_H_

@@ -1,6 +1,6 @@
 // Copyright 2026 mpqopt authors.
 
-#include "cluster/executor.h"
+#include "cluster/thread_backend.h"
 
 #include <atomic>
 #include <chrono>
@@ -9,15 +9,15 @@
 
 namespace mpqopt {
 
-ClusterExecutor::ClusterExecutor(NetworkModel model, int max_threads)
-    : model_(model), max_threads_(max_threads) {
+ThreadBackend::ThreadBackend(NetworkModel model, int max_threads)
+    : ExecutionBackend(model), max_threads_(max_threads) {
   if (max_threads_ <= 0) {
     max_threads_ = static_cast<int>(std::thread::hardware_concurrency());
     if (max_threads_ <= 0) max_threads_ = 1;
   }
 }
 
-StatusOr<RoundResult> ClusterExecutor::RunRound(
+StatusOr<RoundResult> ThreadBackend::RunRound(
     const std::vector<WorkerTask>& tasks,
     const std::vector<std::vector<uint8_t>>& requests) {
   MPQOPT_CHECK_EQ(tasks.size(), requests.size());
@@ -66,21 +66,7 @@ StatusOr<RoundResult> ClusterExecutor::RunRound(
       std::chrono::duration<double>(round_end - round_start).count();
   if (!first_error.ok()) return first_error;
 
-  // Modeled cluster time: the master dispatches all tasks (setup cost per
-  // task, serially on the master), every worker then runs in parallel on
-  // its own node, and the round completes when the slowest worker's
-  // response has arrived back at the master.
-  double slowest = 0;
-  for (size_t i = 0; i < num_tasks; ++i) {
-    result.traffic.Record(requests[i].size());
-    result.traffic.Record(result.responses[i].size());
-    const double worker_total = model_.TransferTime(requests[i].size()) +
-                                result.compute_seconds[i] +
-                                model_.TransferTime(result.responses[i].size());
-    if (worker_total > slowest) slowest = worker_total;
-  }
-  result.simulated_seconds =
-      static_cast<double>(num_tasks) * model_.task_setup_s + slowest;
+  FinalizeRound(requests, &result);
   return result;
 }
 

@@ -1,0 +1,34 @@
+// Copyright 2026 mpqopt authors.
+//
+// Thread-hosted execution: each round spawns a pool of up to
+// `max_threads` host threads that pull tasks off a shared atomic counter
+// and joins them before returning. Cheap and easy to debug, but pays the
+// thread spawn/join cost on every round — AsyncBatchBackend keeps a
+// persistent pool alive instead (see async_batch_backend.h).
+
+#ifndef MPQOPT_CLUSTER_THREAD_BACKEND_H_
+#define MPQOPT_CLUSTER_THREAD_BACKEND_H_
+
+#include "cluster/backend.h"
+
+namespace mpqopt {
+
+/// Executes rounds on a per-round thread pool.
+class ThreadBackend : public ExecutionBackend {
+ public:
+  /// `max_threads` caps host-side concurrency (0 = hardware concurrency).
+  explicit ThreadBackend(NetworkModel model, int max_threads = 0);
+
+  StatusOr<RoundResult> RunRound(const std::vector<WorkerTask>& tasks,
+                                 const std::vector<std::vector<uint8_t>>&
+                                     requests) override;
+
+  const char* name() const override { return "thread"; }
+
+ private:
+  int max_threads_;
+};
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_CLUSTER_THREAD_BACKEND_H_

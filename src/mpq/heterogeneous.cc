@@ -50,9 +50,12 @@ std::vector<PartitionShare> AssignPartitions(const std::vector<double>& speeds,
 
 HeteroMpqOptimizer::HeteroMpqOptimizer(MpqOptions options,
                                        std::vector<double> speeds)
-    : options_(options),
-      speeds_(std::move(speeds)),
-      executor_(options.network, options.max_threads) {}
+    : options_(std::move(options)), speeds_(std::move(speeds)) {
+  if (options_.backend == nullptr) {
+    options_.backend = MakeBackend(BackendKind::kThread, options_.network,
+                                   options_.max_threads);
+  }
+}
 
 std::vector<uint8_t> HeteroMpqOptimizer::BuildRequest(
     const Query& query, PartitionShare share, const MpqOptions& options) {
@@ -158,12 +161,8 @@ StatusOr<MpqResult> HeteroMpqOptimizer::Optimize(const Query& query) {
   Status valid = query.Validate();
   if (!valid.ok()) return valid;
   const uint64_t partitions = options_.num_workers;
-  if (!IsPowerOfTwo(partitions)) {
-    return Status::InvalidArgument("partition count must be a power of two");
-  }
-  if (partitions > MaxWorkers(query.num_tables(), options_.space)) {
-    return Status::InvalidArgument("too many partitions for this query");
-  }
+  valid = ValidateNumWorkers(partitions, query.num_tables(), options_.space);
+  if (!valid.ok()) return valid;
   if (speeds_.empty()) {
     return Status::InvalidArgument("no workers");
   }
@@ -180,7 +179,7 @@ StatusOr<MpqResult> HeteroMpqOptimizer::Optimize(const Query& query) {
 
   std::vector<WorkerTask> tasks(shares.size(),
                                 WorkerTask(&HeteroMpqOptimizer::WorkerMain));
-  StatusOr<RoundResult> round_or = executor_.RunRound(tasks, requests);
+  StatusOr<RoundResult> round_or = options_.backend->RunRound(tasks, requests);
   if (!round_or.ok()) return round_or.status();
   RoundResult& round = round_or.value();
 

@@ -61,7 +61,6 @@ class HeteroMpqOptimizer {
  private:
   MpqOptions options_;
   std::vector<double> speeds_;
-  ClusterExecutor executor_;
 };
 
 }  // namespace mpqopt

@@ -36,10 +36,12 @@ Status DeserializeReport(ByteReader* reader, WorkerReport* r) {
 
 }  // namespace
 
-MpqOptimizer::MpqOptimizer(MpqOptions options)
-    : options_(options),
-      executor_(options.network, options.max_threads),
-      process_executor_(options.network) {}
+MpqOptimizer::MpqOptimizer(MpqOptions options) : options_(std::move(options)) {
+  if (options_.backend == nullptr) {
+    options_.backend = MakeBackend(BackendKind::kThread, options_.network,
+                                   options_.max_threads);
+  }
+}
 
 std::vector<uint8_t> MpqOptimizer::BuildRequest(const Query& query,
                                                 uint64_t partition_id,
@@ -119,14 +121,8 @@ StatusOr<MpqResult> MpqOptimizer::Optimize(const Query& query) {
   Status valid = query.Validate();
   if (!valid.ok()) return valid;
   const uint64_t m = options_.num_workers;
-  if (!IsPowerOfTwo(m)) {
-    return Status::InvalidArgument("num_workers must be a power of two");
-  }
-  if (m > MaxWorkers(query.num_tables(), options_.space)) {
-    return Status::InvalidArgument(
-        "num_workers exceeds the maximal degree of parallelism for this "
-        "query; round down with UsableWorkers()");
-  }
+  valid = ValidateNumWorkers(m, query.num_tables(), options_.space);
+  if (!valid.ok()) return valid;
 
   // Phase 1 (master): build one request per partition.
   const auto serialize_start = std::chrono::steady_clock::now();
@@ -139,10 +135,7 @@ StatusOr<MpqResult> MpqOptimizer::Optimize(const Query& query) {
 
   // Phase 2 (workers): one task per partition, no shared state.
   std::vector<WorkerTask> tasks(m, WorkerTask(&MpqOptimizer::WorkerMain));
-  StatusOr<RoundResult> round_or =
-      options_.execution_mode == ExecutionMode::kProcesses
-          ? process_executor_.RunRound(tasks, requests)
-          : executor_.RunRound(tasks, requests);
+  StatusOr<RoundResult> round_or = options_.backend->RunRound(tasks, requests);
   if (!round_or.ok()) return round_or.status();
   RoundResult& round = round_or.value();
 

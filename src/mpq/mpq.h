@@ -17,21 +17,16 @@
 #include <cstdint>
 #include <vector>
 
+#include <memory>
+
 #include "catalog/query.h"
-#include "cluster/executor.h"
-#include "cluster/process_executor.h"
+#include "cluster/backend.h"
 #include "common/status.h"
 #include "net/network_model.h"
 #include "optimizer/dp.h"
 #include "plan/plan.h"
 
 namespace mpqopt {
-
-/// How worker tasks are hosted on this machine.
-enum class ExecutionMode : uint8_t {
-  kThreads = 0,    ///< thread pool (default; cheap)
-  kProcesses = 1,  ///< forked processes — strict shared-nothing isolation
-};
 
 /// Options of one MPQ optimization run.
 struct MpqOptions {
@@ -47,10 +42,15 @@ struct MpqOptions {
   uint64_t num_workers = 1;
   /// Simulated-cluster parameters.
   NetworkModel network;
-  /// Host-side thread cap for running worker tasks (0 = all cores).
+  /// Host-side thread cap for running worker tasks (0 = all cores); only
+  /// consulted when `backend` is null and a private backend is created.
   int max_threads = 0;
-  /// Worker hosting: threads (default) or forked processes.
-  ExecutionMode execution_mode = ExecutionMode::kThreads;
+  /// Worker-execution runtime. Null (default) gives the optimizer a
+  /// private ThreadBackend built from `network` and `max_threads`. Pass a
+  /// shared backend (see MakeBackend / OptimizerService) to multiplex
+  /// many optimizer runs onto one long-lived worker pool; a non-null
+  /// backend's own NetworkModel governs the simulated cluster time.
+  std::shared_ptr<ExecutionBackend> backend;
   CostModelOptions cost_options;
   int64_t max_memo_entries = int64_t{1} << 28;
 };
@@ -107,8 +107,6 @@ class MpqOptimizer {
 
  private:
   MpqOptions options_;
-  ClusterExecutor executor_;
-  ProcessExecutor process_executor_;
 };
 
 }  // namespace mpqopt

@@ -23,6 +23,25 @@ uint64_t UsableWorkers(int num_tables, PlanSpace space, uint64_t workers) {
   return usable;
 }
 
+Status ValidateNumWorkers(uint64_t workers, int num_tables, PlanSpace space) {
+  if (!IsPowerOfTwo(workers)) {
+    return Status::InvalidArgument(
+        "num_workers must be a nonzero power of two, got " +
+        std::to_string(workers));
+  }
+  const uint64_t max_workers = MaxWorkers(num_tables, space);
+  if (workers > max_workers) {
+    return Status::InvalidArgument(
+        "num_workers " + std::to_string(workers) +
+        " exceeds the maximal degree of parallelism " +
+        std::to_string(max_workers) + " for a " +
+        std::to_string(num_tables) + "-table query in the " +
+        PlanSpaceName(space) +
+        " plan space; round down with UsableWorkers()");
+  }
+  return Status::OK();
+}
+
 StatusOr<ConstraintSet> ConstraintSet::FromPartitionId(
     int num_tables, PlanSpace space, uint64_t partition_id,
     uint64_t num_partitions) {

@@ -79,6 +79,14 @@ uint64_t MaxWorkers(int num_tables, PlanSpace space);
 /// can exploit for this query (at least 1).
 uint64_t UsableWorkers(int num_tables, PlanSpace space, uint64_t workers);
 
+/// Validates a requested degree of parallelism: `workers` must be a power
+/// of two (in particular nonzero) not exceeding MaxWorkers(num_tables,
+/// space). Returns an InvalidArgument status naming the usable value
+/// otherwise. Shared by the optimizers' Optimize() entry points and the
+/// CLI flag parser, so an invalid value never reaches the partition-id
+/// decode.
+Status ValidateNumWorkers(uint64_t workers, int num_tables, PlanSpace space);
+
 /// A fully decoded set of constraints defining one plan-space partition.
 class ConstraintSet {
  public:

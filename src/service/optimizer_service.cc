@@ -1,0 +1,99 @@
+// Copyright 2026 mpqopt authors.
+
+#include "service/optimizer_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace mpqopt {
+
+OptimizerService::OptimizerService(ServiceOptions options)
+    : options_(std::move(options)), backend_(options_.backend) {
+  if (backend_ == nullptr) {
+    backend_ = MakeBackend(options_.backend_kind, options_.network,
+                           options_.backend_threads);
+  }
+  if (options_.dispatcher_threads < 1) options_.dispatcher_threads = 1;
+}
+
+StatusOr<MpqResult> OptimizerService::Optimize(const Query& query,
+                                               const MpqOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  MpqOptions effective = options;
+  effective.backend = backend_;
+  MpqOptimizer optimizer(std::move(effective));
+  StatusOr<MpqResult> result = optimizer.Optimize(query);
+  const auto end = std::chrono::steady_clock::now();
+  const double latency = std::chrono::duration<double>(end - start).count();
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (result.ok()) {
+    ++stats_.queries_completed;
+    stats_.total_simulated_seconds += result.value().simulated_seconds;
+    stats_.network_bytes += result.value().network_bytes;
+    stats_.network_messages += result.value().network_messages;
+  } else {
+    ++stats_.queries_failed;
+  }
+  stats_.total_latency_seconds += latency;
+  return result;
+}
+
+BatchReport OptimizerService::OptimizeBatch(const std::vector<Query>& queries,
+                                            const MpqOptions& options) {
+  const size_t n = queries.size();
+  BatchReport report;
+  report.latency_seconds.assign(n, 0.0);
+  report.results.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    report.results.push_back(Status::Internal("query not executed"));
+  }
+  if (n == 0) return report;
+
+  const auto batch_start = std::chrono::steady_clock::now();
+  std::atomic<size_t> next_query{0};
+  const auto drive = [&]() {
+    while (true) {
+      const size_t i = next_query.fetch_add(1);
+      if (i >= n) return;
+      const auto start = std::chrono::steady_clock::now();
+      report.results[i] = Optimize(queries[i], options);
+      const auto end = std::chrono::steady_clock::now();
+      report.latency_seconds[i] =
+          std::chrono::duration<double>(end - start).count();
+    }
+  };
+
+  const size_t dispatchers =
+      std::min(n, static_cast<size_t>(options_.dispatcher_threads));
+  if (dispatchers <= 1) {
+    drive();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(dispatchers);
+    for (size_t i = 0; i < dispatchers; ++i) pool.emplace_back(drive);
+    for (std::thread& t : pool) t.join();
+  }
+  const auto batch_end = std::chrono::steady_clock::now();
+  report.wall_seconds =
+      std::chrono::duration<double>(batch_end - batch_start).count();
+
+  size_t completed = 0;
+  for (const StatusOr<MpqResult>& r : report.results) {
+    if (r.ok()) ++completed;
+  }
+  report.queries_per_second =
+      report.wall_seconds > 0
+          ? static_cast<double>(completed) / report.wall_seconds
+          : 0;
+  return report;
+}
+
+ServiceStats OptimizerService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace mpqopt

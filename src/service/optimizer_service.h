@@ -1,0 +1,103 @@
+// Copyright 2026 mpqopt authors.
+//
+// OptimizerService — the serving layer on top of the execution stack.
+//
+// The benchmark harness runs one MpqOptimizer at a time; a production
+// optimizer endpoint faces many concurrent Optimize(query) calls. This
+// service multiplexes the worker tasks of all in-flight queries onto ONE
+// shared ExecutionBackend (by default an AsyncBatchBackend, whose
+// persistent pool interleaves concurrently submitted rounds fairly —
+// a large query cannot starve small ones), and keeps per-query and
+// aggregate throughput statistics.
+//
+// Thread safety: Optimize() may be called from any number of threads
+// concurrently. OptimizeBatch() is a convenience driver that runs a whole
+// batch through a bounded dispatcher pool and reports batch wall time,
+// per-query latency, and queries/second.
+
+#ifndef MPQOPT_SERVICE_OPTIMIZER_SERVICE_H_
+#define MPQOPT_SERVICE_OPTIMIZER_SERVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cluster/backend.h"
+#include "mpq/mpq.h"
+
+namespace mpqopt {
+
+/// Configuration of the service runtime.
+struct ServiceOptions {
+  /// Shared worker-execution runtime. Null (default) builds one from
+  /// `backend_kind`, `network`, and `backend_threads`.
+  std::shared_ptr<ExecutionBackend> backend;
+  BackendKind backend_kind = BackendKind::kAsyncBatch;
+  NetworkModel network;
+  /// Host threads of the shared backend (0 = hardware concurrency).
+  int backend_threads = 0;
+  /// Maximum number of query masters driven concurrently by
+  /// OptimizeBatch (the per-query master work: serialize, submit round,
+  /// final prune). Optimize() callers bring their own threads and are
+  /// not bounded by this.
+  int dispatcher_threads = 4;
+};
+
+/// Aggregate counters since service construction.
+struct ServiceStats {
+  uint64_t queries_completed = 0;
+  uint64_t queries_failed = 0;
+  /// Sum of per-query service latencies (seconds).
+  double total_latency_seconds = 0;
+  /// Sum of per-query modeled cluster times (seconds).
+  double total_simulated_seconds = 0;
+  uint64_t network_bytes = 0;
+  uint64_t network_messages = 0;
+};
+
+/// Outcome of one OptimizeBatch call.
+struct BatchReport {
+  /// Per-query results, in input order.
+  std::vector<StatusOr<MpqResult>> results;
+  /// Measured service latency per query (seconds), in input order.
+  std::vector<double> latency_seconds;
+  /// Wall-clock seconds for the whole batch.
+  double wall_seconds = 0;
+  /// Completed queries per wall-clock second.
+  double queries_per_second = 0;
+};
+
+/// Serves many concurrent optimizations over one shared backend.
+class OptimizerService {
+ public:
+  explicit OptimizerService(ServiceOptions options);
+
+  /// Optimizes one query with the given per-query options; the options'
+  /// backend field is overridden with the service's shared backend.
+  /// Thread-safe; concurrent calls share the worker pool.
+  StatusOr<MpqResult> Optimize(const Query& query, const MpqOptions& options);
+
+  /// Optimizes every query with the same shared option set, concurrently
+  /// on up to dispatcher_threads query masters.
+  BatchReport OptimizeBatch(const std::vector<Query>& queries,
+                            const MpqOptions& options);
+
+  /// Aggregate counters since construction (thread-safe snapshot).
+  ServiceStats stats() const;
+
+  const ExecutionBackend& backend() const { return *backend_; }
+  std::shared_ptr<ExecutionBackend> shared_backend() const {
+    return backend_;
+  }
+
+ private:
+  ServiceOptions options_;
+  std::shared_ptr<ExecutionBackend> backend_;
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+};
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_SERVICE_OPTIMIZER_SERVICE_H_

@@ -284,8 +284,15 @@ StatusOr<SmaResult> SmaOptimize(const Query& query, const SmaOptions& options) {
         "SMA replicates the full memo per worker; query too large");
   }
   const uint64_t m = options.num_workers;
-  MPQOPT_CHECK_GE(m, 1u);
-  const NetworkModel& net = options.network;
+  if (m < 1) {
+    return Status::InvalidArgument("num_workers must be at least 1");
+  }
+  std::shared_ptr<ExecutionBackend> backend = options.backend;
+  if (backend == nullptr) {
+    backend = MakeBackend(BackendKind::kThread, options.network,
+                          /*max_threads=*/1);
+  }
+  const NetworkModel& net = backend->network();
 
   SmaResult result;
   result.max_worker_memo_sets = int64_t{1} << n;
@@ -310,12 +317,25 @@ StatusOr<SmaResult> SmaOptimize(const Query& query, const SmaOptions& options) {
   SmaNode master_replica(query, options);
   std::vector<double> node_seconds(m, 0.0);
 
+  // Per-level chunk computation runs through the pluggable backend: node
+  // i's ComputeChunk is exposed as a worker task (request = assignment
+  // bytes, response = serialized entries). ComputeChunk only reads the
+  // node's memo replica — state changes happen in ApplyBroadcast on the
+  // master side — so every backend, including process isolation, yields
+  // identical results.
+  std::vector<WorkerTask> tasks;
+  tasks.reserve(m);
+  for (uint64_t i = 0; i < m; ++i) {
+    tasks.push_back([&nodes, i](const std::vector<uint8_t>& assignment) {
+      return nodes[i].ComputeChunk(assignment);
+    });
+  }
+
   if (n >= 2) {
     for (int k = 2; k <= n; ++k) {
       ++result.rounds;
       // Master: enumerate the level's table sets and deal them round-robin.
-      std::vector<ByteWriter> assignments(m);
-      std::vector<uint32_t> assignment_counts(m, 0);
+      std::vector<std::vector<uint8_t>> assignments(m);
       {
         std::vector<std::vector<uint64_t>> chunks(m);
         uint64_t v = (uint64_t{1} << k) - 1;
@@ -327,31 +347,26 @@ StatusOr<SmaResult> SmaOptimize(const Query& query, const SmaOptions& options) {
           v = NextCombination(v);
         }
         for (uint64_t i = 0; i < m; ++i) {
-          assignments[i].WriteU32(static_cast<uint32_t>(chunks[i].size()));
-          for (uint64_t bits : chunks[i]) assignments[i].WriteU64(bits);
-          assignment_counts[i] = static_cast<uint32_t>(chunks[i].size());
+          ByteWriter writer;
+          writer.WriteU32(static_cast<uint32_t>(chunks[i].size()));
+          for (uint64_t bits : chunks[i]) writer.WriteU64(bits);
+          assignments[i] = writer.Release();
         }
       }
 
-      // Workers compute their chunks (measured individually).
-      std::vector<std::vector<uint8_t>> responses(m);
-      double slowest = 0;
+      // Workers compute their chunks through the backend (one round per
+      // level — SMA's defining many-rounds-per-query behaviour); per-task
+      // compute is measured individually, transfers are modeled from the
+      // true byte counts by the backend's shared accounting.
+      StatusOr<RoundResult> round_or = backend->RunRound(tasks, assignments);
+      if (!round_or.ok()) return round_or.status();
+      RoundResult& round = round_or.value();
+      std::vector<std::vector<uint8_t>>& responses = round.responses;
       for (uint64_t i = 0; i < m; ++i) {
-        const std::vector<uint8_t> assignment = assignments[i].Release();
-        const auto start = Clock::now();
-        StatusOr<std::vector<uint8_t>> response =
-            nodes[i].ComputeChunk(assignment);
-        const auto end = Clock::now();
-        if (!response.ok()) return response.status();
-        responses[i] = std::move(response).value();
-        const double compute = Seconds(start, end);
-        node_seconds[i] += compute;
-        const double path = net.TransferTime(assignment.size()) + compute +
-                            net.TransferTime(responses[i].size());
-        if (path > slowest) slowest = path;
-        result.network_bytes += assignment.size() + responses[i].size();
-        result.network_messages += 2;
+        node_seconds[i] += round.compute_seconds[i];
       }
+      result.network_bytes += round.traffic.bytes_sent;
+      result.network_messages += round.traffic.messages;
 
       // Master: concatenate the level's entries and broadcast to all
       // workers — the shared memotable emulated over the network.
@@ -374,10 +389,11 @@ StatusOr<SmaResult> SmaOptimize(const Query& query, const SmaOptions& options) {
       Status s = master_replica.ApplyBroadcast(broadcast);
       if (!s.ok()) return s;
 
-      // Level completion: per-task dispatch + slowest compute path +
-      // the master pushing m broadcast copies through its link + apply.
+      // Level completion: per-task dispatch + slowest compute path (both
+      // in round.simulated_seconds) + the master pushing m broadcast
+      // copies through its link + apply.
       result.simulated_seconds +=
-          static_cast<double>(m) * net.task_setup_s + slowest +
+          round.simulated_seconds +
           static_cast<double>(m) * net.TransferTime(broadcast.size()) +
           max_apply;
     }

@@ -24,9 +24,11 @@
 #define MPQOPT_SMA_SMA_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "catalog/query.h"
+#include "cluster/backend.h"
 #include "common/status.h"
 #include "net/network_model.h"
 #include "optimizer/dp.h"
@@ -43,6 +45,11 @@ struct SmaOptions {
   /// of two, tasks are dealt round-robin).
   uint64_t num_workers = 1;
   NetworkModel network;
+  /// Worker-execution runtime for the per-level chunk computations. Null
+  /// (default) uses a private single-threaded ThreadBackend so per-chunk
+  /// compute timing stays unpolluted; a non-null backend's NetworkModel
+  /// governs the simulated transfer times.
+  std::shared_ptr<ExecutionBackend> backend;
   CostModelOptions cost_options;
   /// SMA materializes the full memo on every worker; refuse queries whose
   /// memo exceeds this (the paper stops SMA at 16 tables).

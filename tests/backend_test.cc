@@ -1,0 +1,254 @@
+// Copyright 2026 mpqopt authors.
+//
+// Backend-parameterized wire-contract tests: every ExecutionBackend must
+// produce byte-identical worker responses and consistent TrafficStats for
+// the same tasks — the property that makes the hosting choice (threads,
+// processes, persistent async pool) invisible to the optimizers.
+
+#include "cluster/backend.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "catalog/generator.h"
+#include "cluster/async_batch_backend.h"
+#include "mpq/mpq.h"
+#include "sma/sma.h"
+
+namespace mpqopt {
+namespace {
+
+Query MakeQuery(int n, uint64_t seed) {
+  GeneratorOptions opts;
+  opts.shape = JoinGraphShape::kStar;
+  QueryGenerator gen(opts, seed);
+  return gen.Generate(n);
+}
+
+WorkerTask Echo() {
+  return [](const std::vector<uint8_t>& request)
+             -> StatusOr<std::vector<uint8_t>> { return request; };
+}
+
+class BackendTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  std::shared_ptr<ExecutionBackend> MakeTestBackend(
+      NetworkModel model = NetworkModel{}) {
+    return MakeBackend(GetParam(), model, /*max_threads=*/2);
+  }
+};
+
+TEST_P(BackendTest, EchoRoundTrip) {
+  auto backend = MakeTestBackend();
+  EXPECT_STREQ(backend->name(), BackendKindName(GetParam()));
+  std::vector<WorkerTask> tasks(3, Echo());
+  std::vector<std::vector<uint8_t>> requests = {{1, 2}, {}, {7, 7, 7}};
+  StatusOr<RoundResult> round = backend->RunRound(tasks, requests);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  ASSERT_EQ(round.value().responses.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(round.value().responses[i], requests[i]);
+  }
+}
+
+TEST_P(BackendTest, ErrorPropagates) {
+  auto backend = MakeTestBackend();
+  const WorkerTask failing =
+      [](const std::vector<uint8_t>&) -> StatusOr<std::vector<uint8_t>> {
+    return Status::Corruption("bad payload");
+  };
+  StatusOr<RoundResult> round = backend->RunRound({Echo(), failing}, {{1}, {2}});
+  EXPECT_FALSE(round.ok());
+  EXPECT_NE(round.status().message().find("bad payload"), std::string::npos);
+}
+
+TEST_P(BackendTest, EmptyRound) {
+  auto backend = MakeTestBackend();
+  StatusOr<RoundResult> round = backend->RunRound({}, {});
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(round.value().responses.empty());
+  EXPECT_EQ(round.value().traffic.bytes_sent, 0u);
+  EXPECT_EQ(round.value().traffic.messages, 0u);
+}
+
+/// The worker report trailer leads each response with three u64 counters
+/// followed by the measured compute seconds (a double at bytes [24, 32)).
+/// That one field is genuinely nondeterministic; byte-identity is asserted
+/// on everything else.
+std::vector<uint8_t> MaskMeasuredSeconds(std::vector<uint8_t> response) {
+  for (size_t i = 24; i < 32 && i < response.size(); ++i) response[i] = 0;
+  return response;
+}
+
+TEST_P(BackendTest, WorkerMainWireContractIsByteIdentical) {
+  // MPQ's worker entry point through the backend must return exactly the
+  // bytes a direct in-process call produces, for every partition.
+  const Query q = MakeQuery(8, 417);
+  MpqOptions opts;
+  opts.space = PlanSpace::kLinear;
+  opts.num_workers = 8;
+
+  std::vector<std::vector<uint8_t>> requests;
+  std::vector<std::vector<uint8_t>> reference;
+  for (uint64_t part = 0; part < opts.num_workers; ++part) {
+    requests.push_back(MpqOptimizer::BuildRequest(q, part, opts));
+    StatusOr<std::vector<uint8_t>> direct =
+        MpqOptimizer::WorkerMain(requests.back());
+    ASSERT_TRUE(direct.ok());
+    reference.push_back(std::move(direct).value());
+  }
+
+  auto backend = MakeTestBackend();
+  std::vector<WorkerTask> tasks(opts.num_workers,
+                                WorkerTask(&MpqOptimizer::WorkerMain));
+  StatusOr<RoundResult> round = backend->RunRound(tasks, requests);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  for (uint64_t part = 0; part < opts.num_workers; ++part) {
+    EXPECT_EQ(MaskMeasuredSeconds(round.value().responses[part]),
+              MaskMeasuredSeconds(reference[part]))
+        << "partition " << part << " on " << backend->name();
+    // Payload sizes (and hence byte accounting) match exactly.
+    ASSERT_EQ(round.value().responses[part].size(), reference[part].size());
+  }
+
+  // Traffic accounting must be derivable from the payloads alone:
+  // request + response bytes, two messages per worker.
+  uint64_t expect_bytes = 0;
+  for (uint64_t part = 0; part < opts.num_workers; ++part) {
+    expect_bytes += requests[part].size() + reference[part].size();
+  }
+  EXPECT_EQ(round.value().traffic.bytes_sent, expect_bytes);
+  EXPECT_EQ(round.value().traffic.messages, 2 * opts.num_workers);
+}
+
+TEST_P(BackendTest, SimulatedTimeIncludesPerTaskSetup) {
+  NetworkModel model;
+  model.task_setup_s = 0.25;
+  model.latency_s = 0;
+  model.bandwidth_bytes_per_s = 1e18;
+  auto backend = MakeTestBackend(model);
+  std::vector<WorkerTask> tasks(4, Echo());
+  std::vector<std::vector<uint8_t>> requests(4, std::vector<uint8_t>{1});
+  StatusOr<RoundResult> round = backend->RunRound(tasks, requests);
+  ASSERT_TRUE(round.ok());
+  EXPECT_GE(round.value().simulated_seconds, 4 * 0.25);
+  EXPECT_LT(round.value().simulated_seconds, 4 * 0.25 + 1.0);
+}
+
+TEST_P(BackendTest, MpqOptimizeMatchesDefaultBackend) {
+  const Query q = MakeQuery(9, 418);
+  MpqOptions base;
+  base.space = PlanSpace::kLinear;
+  base.num_workers = 8;
+  MpqOptimizer reference(base);
+  StatusOr<MpqResult> a = reference.Optimize(q);
+
+  MpqOptions with_backend = base;
+  with_backend.backend = MakeTestBackend();
+  MpqOptimizer optimizer(with_backend);
+  StatusOr<MpqResult> b = optimizer.Optimize(q);
+
+  ASSERT_TRUE(a.ok() && b.ok()) << b.status().ToString();
+  EXPECT_DOUBLE_EQ(a.value().arena.node(a.value().best[0]).cost.time(),
+                   b.value().arena.node(b.value().best[0]).cost.time());
+  EXPECT_EQ(a.value().network_bytes, b.value().network_bytes);
+  EXPECT_EQ(a.value().network_messages, b.value().network_messages);
+  EXPECT_EQ(a.value().max_worker_memo_sets, b.value().max_worker_memo_sets);
+}
+
+TEST_P(BackendTest, SmaRunsOnEveryBackend) {
+  // SMA's per-level chunk computation goes through the backend too; the
+  // result and byte counts must not depend on the hosting choice.
+  const Query q = MakeQuery(8, 419);
+  SmaOptions base;
+  base.space = PlanSpace::kLinear;
+  base.num_workers = 3;
+  StatusOr<SmaResult> a = SmaOptimize(q, base);
+
+  SmaOptions with_backend = base;
+  with_backend.backend = MakeTestBackend();
+  StatusOr<SmaResult> b = SmaOptimize(q, with_backend);
+
+  ASSERT_TRUE(a.ok() && b.ok()) << b.status().ToString();
+  EXPECT_DOUBLE_EQ(a.value().arena.node(a.value().best[0]).cost.time(),
+                   b.value().arena.node(b.value().best[0]).cost.time());
+  EXPECT_EQ(a.value().network_bytes, b.value().network_bytes);
+  EXPECT_EQ(a.value().network_messages, b.value().network_messages);
+  EXPECT_EQ(a.value().rounds, b.value().rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendTest,
+                         ::testing::Values(BackendKind::kThread,
+                                           BackendKind::kProcess,
+                                           BackendKind::kAsyncBatch),
+                         [](const auto& info) {
+                           return std::string(BackendKindName(info.param));
+                         });
+
+TEST(BackendFactoryTest, ParseBackendKind) {
+  EXPECT_TRUE(ParseBackendKind("thread").ok());
+  EXPECT_TRUE(ParseBackendKind("process").ok());
+  EXPECT_TRUE(ParseBackendKind("async").ok());
+  EXPECT_EQ(ParseBackendKind("async").value(), BackendKind::kAsyncBatch);
+  EXPECT_FALSE(ParseBackendKind("spark").ok());
+}
+
+TEST(AsyncBatchBackendTest, PersistentPoolSurvivesManyRounds) {
+  AsyncBatchBackend backend(NetworkModel{}, 2);
+  EXPECT_EQ(backend.pool_size(), 2);
+  std::vector<WorkerTask> tasks(4, Echo());
+  std::vector<std::vector<uint8_t>> requests(4, std::vector<uint8_t>{5});
+  for (int round = 0; round < 100; ++round) {
+    StatusOr<RoundResult> r = backend.RunRound(tasks, requests);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r.value().responses.size(), 4u);
+    EXPECT_EQ(r.value().responses[3], requests[3]);
+  }
+}
+
+TEST(AsyncBatchBackendTest, ConcurrentRoundsFromManySubmitters) {
+  // Many threads push rounds into the same pool simultaneously; each
+  // round's responses must match its own requests (no cross-talk).
+  AsyncBatchBackend backend(NetworkModel{}, 3);
+  constexpr int kSubmitters = 8;
+  constexpr int kRoundsEach = 20;
+  std::vector<std::thread> submitters;
+  std::vector<int> failures(kSubmitters, 0);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&backend, &failures, s]() {
+      for (int r = 0; r < kRoundsEach; ++r) {
+        std::vector<WorkerTask> tasks(5, Echo());
+        std::vector<std::vector<uint8_t>> requests;
+        for (int t = 0; t < 5; ++t) {
+          requests.push_back({static_cast<uint8_t>(s), static_cast<uint8_t>(r),
+                              static_cast<uint8_t>(t)});
+        }
+        StatusOr<RoundResult> round = backend.RunRound(tasks, requests);
+        if (!round.ok() || round.value().responses != requests) {
+          ++failures[s];
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (int s = 0; s < kSubmitters; ++s) {
+    EXPECT_EQ(failures[s], 0) << "submitter " << s;
+  }
+}
+
+TEST(AsyncBatchBackendTest, ErrorInOneRoundDoesNotPoisonOthers) {
+  AsyncBatchBackend backend(NetworkModel{}, 2);
+  const WorkerTask failing =
+      [](const std::vector<uint8_t>&) -> StatusOr<std::vector<uint8_t>> {
+    return Status::Internal("boom");
+  };
+  StatusOr<RoundResult> bad = backend.RunRound({failing}, {{1}});
+  EXPECT_FALSE(bad.ok());
+  StatusOr<RoundResult> good = backend.RunRound({Echo()}, {{2}});
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value().responses[0], std::vector<uint8_t>{2});
+}
+
+}  // namespace
+}  // namespace mpqopt

@@ -1,0 +1,157 @@
+// Copyright 2026 mpqopt authors.
+//
+// OptimizerService correctness: many concurrent queries multiplexed onto
+// one shared backend must return exactly the same plans, costs, and byte
+// counts as the same queries run one-by-one through MpqOptimizer.
+
+#include "service/optimizer_service.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "catalog/generator.h"
+#include "cluster/async_batch_backend.h"
+
+namespace mpqopt {
+namespace {
+
+std::vector<Query> MakeQueries(int count, int tables, uint64_t seed) {
+  GeneratorOptions opts;
+  opts.shape = JoinGraphShape::kStar;
+  QueryGenerator gen(opts, seed);
+  std::vector<Query> queries;
+  queries.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) queries.push_back(gen.Generate(tables));
+  return queries;
+}
+
+struct Reference {
+  double cost;
+  uint64_t network_bytes;
+  uint64_t network_messages;
+};
+
+std::vector<Reference> SequentialReference(const std::vector<Query>& queries,
+                                           const MpqOptions& options) {
+  std::vector<Reference> refs;
+  for (const Query& q : queries) {
+    MpqOptimizer optimizer(options);
+    StatusOr<MpqResult> r = optimizer.Optimize(q);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    refs.push_back({r.value().arena.node(r.value().best[0]).cost.time(),
+                    r.value().network_bytes, r.value().network_messages});
+  }
+  return refs;
+}
+
+class OptimizerServiceTest : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(OptimizerServiceTest, ConcurrentBatchMatchesSequentialRuns) {
+  const int kQueries = 8;
+  const std::vector<Query> queries = MakeQueries(kQueries, 10, 7001);
+  MpqOptions opts;
+  opts.space = PlanSpace::kLinear;
+  opts.num_workers = 16;
+  const std::vector<Reference> refs = SequentialReference(queries, opts);
+
+  ServiceOptions service_opts;
+  service_opts.backend_kind = GetParam();
+  service_opts.backend_threads = 2;
+  service_opts.dispatcher_threads = 4;
+  OptimizerService service(service_opts);
+  const BatchReport report = service.OptimizeBatch(queries, opts);
+
+  ASSERT_EQ(report.results.size(), static_cast<size_t>(kQueries));
+  for (int i = 0; i < kQueries; ++i) {
+    ASSERT_TRUE(report.results[i].ok())
+        << report.results[i].status().ToString();
+    const MpqResult& r = report.results[i].value();
+    EXPECT_DOUBLE_EQ(r.arena.node(r.best[0]).cost.time(), refs[i].cost)
+        << "query " << i;
+    EXPECT_EQ(r.network_bytes, refs[i].network_bytes) << "query " << i;
+    EXPECT_EQ(r.network_messages, refs[i].network_messages) << "query " << i;
+    EXPECT_GE(report.latency_seconds[i], 0.0);
+  }
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GT(report.queries_per_second, 0.0);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries_completed, static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(stats.queries_failed, 0u);
+  EXPECT_GT(stats.total_simulated_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, OptimizerServiceTest,
+                         ::testing::Values(BackendKind::kThread,
+                                           BackendKind::kAsyncBatch),
+                         [](const auto& info) {
+                           return std::string(BackendKindName(info.param));
+                         });
+
+TEST(OptimizerServiceTest2, ManyThreadsCallOptimizeDirectly) {
+  // Optimize() is the serving entry point: callers bring their own
+  // threads and share the backend pool.
+  const std::vector<Query> queries = MakeQueries(6, 9, 7002);
+  MpqOptions opts;
+  opts.space = PlanSpace::kLinear;
+  opts.num_workers = 8;
+  const std::vector<Reference> refs = SequentialReference(queries, opts);
+
+  ServiceOptions service_opts;
+  service_opts.backend = std::make_shared<AsyncBatchBackend>(NetworkModel{}, 2);
+  OptimizerService service(service_opts);
+  std::vector<std::thread> callers;
+  std::vector<double> costs(queries.size(), 0.0);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    callers.emplace_back([&, i]() {
+      StatusOr<MpqResult> r = service.Optimize(queries[i], opts);
+      if (r.ok()) {
+        costs[i] = r.value().arena.node(r.value().best[0]).cost.time();
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(costs[i], refs[i].cost) << "query " << i;
+  }
+  EXPECT_EQ(service.stats().queries_completed, queries.size());
+}
+
+TEST(OptimizerServiceTest2, InvalidWorkerCountIsRejectedNotCrashed) {
+  const std::vector<Query> queries = MakeQueries(1, 8, 7003);
+  MpqOptions opts;
+  opts.space = PlanSpace::kLinear;
+  opts.num_workers = 3;  // not a power of two
+  ServiceOptions service_opts;
+  service_opts.backend_threads = 1;
+  OptimizerService service(service_opts);
+  StatusOr<MpqResult> r = service.Optimize(queries[0], opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  opts.num_workers = 0;
+  EXPECT_FALSE(service.Optimize(queries[0], opts).ok());
+
+  // Exceeding the maximal parallelism for the query size is also an
+  // InvalidArgument, not a crash in the partition decode.
+  opts.num_workers = uint64_t{1} << 20;
+  StatusOr<MpqResult> too_many = service.Optimize(queries[0], opts);
+  EXPECT_FALSE(too_many.ok());
+  EXPECT_EQ(too_many.status().code(), StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(service.stats().queries_failed, 3u);
+  EXPECT_EQ(service.stats().queries_completed, 0u);
+}
+
+TEST(OptimizerServiceTest2, EmptyBatch) {
+  ServiceOptions service_opts;
+  service_opts.backend_threads = 1;
+  OptimizerService service(service_opts);
+  const BatchReport report = service.OptimizeBatch({}, MpqOptions{});
+  EXPECT_TRUE(report.results.empty());
+  EXPECT_EQ(report.queries_per_second, 0.0);
+}
+
+}  // namespace
+}  // namespace mpqopt

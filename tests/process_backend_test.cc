@@ -1,10 +1,11 @@
 // Copyright 2026 mpqopt authors.
 
-#include "cluster/process_executor.h"
+#include "cluster/process_backend.h"
 
 #include <gtest/gtest.h>
 
 #include "catalog/generator.h"
+#include "cluster/thread_backend.h"
 #include "mpq/mpq.h"
 
 namespace mpqopt {
@@ -15,8 +16,8 @@ WorkerTask Echo() {
              -> StatusOr<std::vector<uint8_t>> { return request; };
 }
 
-TEST(ProcessExecutorTest, EchoAcrossProcessBoundary) {
-  ProcessExecutor exec(NetworkModel{});
+TEST(ProcessBackendTest, EchoAcrossProcessBoundary) {
+  ProcessBackend exec(NetworkModel{});
   std::vector<WorkerTask> tasks(3, Echo());
   std::vector<std::vector<uint8_t>> requests = {{1, 2}, {}, {9, 9, 9}};
   StatusOr<RoundResult> round = exec.RunRound(tasks, requests);
@@ -27,7 +28,7 @@ TEST(ProcessExecutorTest, EchoAcrossProcessBoundary) {
   }
 }
 
-TEST(ProcessExecutorTest, ChildStateDoesNotLeakToParent) {
+TEST(ProcessBackendTest, ChildStateDoesNotLeakToParent) {
   // The task mutates a global; with fork isolation, the parent's copy
   // must be untouched — the defining shared-nothing property.
   static int poisoned = 0;
@@ -36,34 +37,34 @@ TEST(ProcessExecutorTest, ChildStateDoesNotLeakToParent) {
     poisoned = 42;
     return r;
   };
-  ProcessExecutor exec(NetworkModel{});
+  ProcessBackend exec(NetworkModel{});
   StatusOr<RoundResult> round = exec.RunRound({poisoner}, {{1}});
   ASSERT_TRUE(round.ok());
   EXPECT_EQ(poisoned, 0);
 
-  // Contrast: the thread executor shares the address space.
-  ClusterExecutor threads(NetworkModel{}, 1);
+  // Contrast: the thread backend shares the address space.
+  ThreadBackend threads(NetworkModel{}, 1);
   ASSERT_TRUE(threads.RunRound({poisoner}, {{1}}).ok());
   EXPECT_EQ(poisoned, 42);
   poisoned = 0;
 }
 
-TEST(ProcessExecutorTest, WorkerErrorPropagates) {
+TEST(ProcessBackendTest, WorkerErrorPropagates) {
   const WorkerTask failing =
       [](const std::vector<uint8_t>&) -> StatusOr<std::vector<uint8_t>> {
     return Status::Corruption("bad payload");
   };
-  ProcessExecutor exec(NetworkModel{});
+  ProcessBackend exec(NetworkModel{});
   StatusOr<RoundResult> round = exec.RunRound({failing}, {{1}});
   EXPECT_FALSE(round.ok());
   EXPECT_NE(round.status().message().find("bad payload"), std::string::npos);
 }
 
-TEST(ProcessExecutorTest, TrafficAccountingMatchesThreadExecutor) {
+TEST(ProcessBackendTest, TrafficAccountingMatchesThreadBackend) {
   std::vector<WorkerTask> tasks(2, Echo());
   std::vector<std::vector<uint8_t>> requests = {{1, 2, 3}, {4}};
-  ProcessExecutor procs(NetworkModel{});
-  ClusterExecutor threads(NetworkModel{}, 1);
+  ProcessBackend procs(NetworkModel{});
+  ThreadBackend threads(NetworkModel{}, 1);
   StatusOr<RoundResult> a = procs.RunRound(tasks, requests);
   StatusOr<RoundResult> b = threads.RunRound(tasks, requests);
   ASSERT_TRUE(a.ok() && b.ok());
@@ -71,7 +72,7 @@ TEST(ProcessExecutorTest, TrafficAccountingMatchesThreadExecutor) {
   EXPECT_EQ(a.value().traffic.messages, b.value().traffic.messages);
 }
 
-TEST(ProcessExecutorTest, MpqProcessModeMatchesThreadMode) {
+TEST(ProcessBackendTest, MpqProcessBackendMatchesThreadBackend) {
   GeneratorOptions gopts;
   gopts.shape = JoinGraphShape::kStar;
   QueryGenerator gen(gopts, 91);
@@ -81,7 +82,8 @@ TEST(ProcessExecutorTest, MpqProcessModeMatchesThreadMode) {
   thread_opts.space = PlanSpace::kLinear;
   thread_opts.num_workers = 8;
   MpqOptions process_opts = thread_opts;
-  process_opts.execution_mode = ExecutionMode::kProcesses;
+  process_opts.backend =
+      MakeBackend(BackendKind::kProcess, process_opts.network);
 
   MpqOptimizer threads(thread_opts);
   MpqOptimizer procs(process_opts);
@@ -94,8 +96,8 @@ TEST(ProcessExecutorTest, MpqProcessModeMatchesThreadMode) {
   EXPECT_EQ(a.value().max_worker_memo_sets, b.value().max_worker_memo_sets);
 }
 
-TEST(ProcessExecutorTest, EmptyRound) {
-  ProcessExecutor exec(NetworkModel{});
+TEST(ProcessBackendTest, EmptyRound) {
+  ProcessBackend exec(NetworkModel{});
   StatusOr<RoundResult> round = exec.RunRound({}, {});
   ASSERT_TRUE(round.ok());
   EXPECT_TRUE(round.value().responses.empty());

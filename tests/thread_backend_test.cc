@@ -1,6 +1,6 @@
 // Copyright 2026 mpqopt authors.
 
-#include "cluster/executor.h"
+#include "cluster/thread_backend.h"
 
 #include <gtest/gtest.h>
 
@@ -14,8 +14,8 @@ WorkerTask Echo() {
              -> StatusOr<std::vector<uint8_t>> { return request; };
 }
 
-TEST(ExecutorTest, RunsAllTasksAndReturnsResponses) {
-  ClusterExecutor exec(NetworkModel{});
+TEST(ThreadBackendTest, RunsAllTasksAndReturnsResponses) {
+  ThreadBackend exec(NetworkModel{});
   std::vector<WorkerTask> tasks(4, Echo());
   std::vector<std::vector<uint8_t>> requests = {
       {1}, {2, 2}, {3, 3, 3}, {4, 4, 4, 4}};
@@ -27,8 +27,8 @@ TEST(ExecutorTest, RunsAllTasksAndReturnsResponses) {
   }
 }
 
-TEST(ExecutorTest, TrafficCountsBothDirections) {
-  ClusterExecutor exec(NetworkModel{});
+TEST(ThreadBackendTest, TrafficCountsBothDirections) {
+  ThreadBackend exec(NetworkModel{});
   std::vector<WorkerTask> tasks(2, Echo());
   std::vector<std::vector<uint8_t>> requests = {{1, 2, 3}, {4, 5}};
   StatusOr<RoundResult> round = exec.RunRound(tasks, requests);
@@ -37,8 +37,8 @@ TEST(ExecutorTest, TrafficCountsBothDirections) {
   EXPECT_EQ(round.value().traffic.messages, 4u);  // 2 requests + 2 replies
 }
 
-TEST(ExecutorTest, FirstTaskErrorPropagates) {
-  ClusterExecutor exec(NetworkModel{}, 1);
+TEST(ThreadBackendTest, FirstTaskErrorPropagates) {
+  ThreadBackend exec(NetworkModel{}, 1);
   std::vector<WorkerTask> tasks;
   tasks.push_back(Echo());
   tasks.push_back([](const std::vector<uint8_t>&)
@@ -51,12 +51,12 @@ TEST(ExecutorTest, FirstTaskErrorPropagates) {
   EXPECT_EQ(round.status().code(), StatusCode::kInternal);
 }
 
-TEST(ExecutorTest, SimulatedTimeIncludesPerTaskSetup) {
+TEST(ThreadBackendTest, SimulatedTimeIncludesPerTaskSetup) {
   NetworkModel model;
   model.task_setup_s = 0.5;
   model.latency_s = 0;
   model.bandwidth_bytes_per_s = 1e18;
-  ClusterExecutor exec(model);
+  ThreadBackend exec(model);
   std::vector<WorkerTask> tasks(8, Echo());
   std::vector<std::vector<uint8_t>> requests(8, std::vector<uint8_t>{1});
   StatusOr<RoundResult> round = exec.RunRound(tasks, requests);
@@ -65,11 +65,11 @@ TEST(ExecutorTest, SimulatedTimeIncludesPerTaskSetup) {
   EXPECT_LT(round.value().simulated_seconds, 8 * 0.5 + 1.0);
 }
 
-TEST(ExecutorTest, SimulatedTimeIsMaxNotSumOfWorkers) {
+TEST(ThreadBackendTest, SimulatedTimeIsMaxNotSumOfWorkers) {
   NetworkModel model;
   model.task_setup_s = 0;
   model.latency_s = 0;
-  ClusterExecutor exec(model, 1);
+  ThreadBackend exec(model, 1);
   // Two tasks that each sleep ~30ms: modeled cluster time must reflect
   // the slowest worker, not the serial sum measured on this host.
   const WorkerTask sleeper =
@@ -86,8 +86,8 @@ TEST(ExecutorTest, SimulatedTimeIsMaxNotSumOfWorkers) {
   EXPECT_NEAR(round.value().simulated_seconds, max_compute, 0.02);
 }
 
-TEST(ExecutorTest, ComputeSecondsMeasuredPerTask) {
-  ClusterExecutor exec(NetworkModel{}, 1);
+TEST(ThreadBackendTest, ComputeSecondsMeasuredPerTask) {
+  ThreadBackend exec(NetworkModel{}, 1);
   const WorkerTask sleeper =
       [](const std::vector<uint8_t>& r) -> StatusOr<std::vector<uint8_t>> {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -101,8 +101,8 @@ TEST(ExecutorTest, ComputeSecondsMeasuredPerTask) {
   EXPECT_GE(round.value().compute_seconds[1], 0.019);
 }
 
-TEST(ExecutorTest, EmptyRound) {
-  ClusterExecutor exec(NetworkModel{});
+TEST(ThreadBackendTest, EmptyRound) {
+  ThreadBackend exec(NetworkModel{});
   StatusOr<RoundResult> round = exec.RunRound({}, {});
   ASSERT_TRUE(round.ok());
   EXPECT_TRUE(round.value().responses.empty());

@@ -10,19 +10,23 @@
 //   mpqopt_cli --tables=12 --objective=mo --alpha=2 --workers=16
 //   mpqopt_cli --tables=10 --variant=pqo --parametric-table=0
 //   mpqopt_cli --tables=10 --variant=io --space=bushy
+//   mpqopt_cli --tables=12 --workers=16 --backend=async --concurrent-queries=8
 //
 // Flags (all optional): --tables=N --shape=chain|star|cycle|clique
 // --space=linear|bushy --workers=M --seed=S --objective=time|mo
-// --alpha=A --variant=dp|io|pqo --parametric-table=T --processes
+// --alpha=A --variant=dp|io|pqo --parametric-table=T
+// --backend=thread|process|async --concurrent-queries=Q --processes
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "catalog/generator.h"
 #include "mpq/mpq.h"
 #include "optimizer/pqo.h"
 #include "plan/plan.h"
+#include "service/optimizer_service.h"
 
 namespace mpqopt {
 namespace {
@@ -37,7 +41,8 @@ struct CliOptions {
   double alpha = 10.0;
   std::string variant = "dp";
   int parametric_table = 0;
-  bool processes = false;
+  BackendKind backend = BackendKind::kThread;
+  int concurrent_queries = 0;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -78,7 +83,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
         return false;
       }
     } else if (ParseFlag(argv[i], "--workers", &v)) {
-      opts->workers = std::strtoull(v.c_str(), nullptr, 10);
+      char* end = nullptr;
+      opts->workers = std::strtoull(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0') {
+        std::fprintf(stderr, "invalid --workers value: %s\n", v.c_str());
+        return false;
+      }
     } else if (ParseFlag(argv[i], "--seed", &v)) {
       opts->seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--objective", &v)) {
@@ -95,8 +105,22 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->variant = v;
     } else if (ParseFlag(argv[i], "--parametric-table", &v)) {
       opts->parametric_table = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--backend", &v)) {
+      StatusOr<BackendKind> kind = ParseBackendKind(v);
+      if (!kind.ok()) {
+        std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+        return false;
+      }
+      opts->backend = kind.value();
+    } else if (ParseFlag(argv[i], "--concurrent-queries", &v)) {
+      opts->concurrent_queries = std::atoi(v.c_str());
+      if (opts->concurrent_queries < 1) {
+        std::fprintf(stderr, "--concurrent-queries must be >= 1\n");
+        return false;
+      }
     } else if (ParseFlag(argv[i], "--processes", &v)) {
-      opts->processes = true;
+      // Back-compat alias for --backend=process.
+      opts->backend = BackendKind::kProcess;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       return false;
     } else {
@@ -129,16 +153,56 @@ int RunPqo(const Query& query, const CliOptions& cli) {
   return 0;
 }
 
-int RunMpq(const Query& query, const CliOptions& cli) {
+MpqOptions BuildMpqOptions(const CliOptions& cli) {
   MpqOptions opts;
   opts.space = cli.space;
   opts.objective = cli.objective;
   opts.alpha = cli.alpha;
   opts.interesting_orders = cli.variant == "io";
-  opts.num_workers =
-      UsableWorkers(query.num_tables(), cli.space, cli.workers);
-  opts.execution_mode =
-      cli.processes ? ExecutionMode::kProcesses : ExecutionMode::kThreads;
+  opts.num_workers = cli.workers;
+  return opts;
+}
+
+/// Serving mode: Q concurrently optimized queries multiplexed onto one
+/// shared backend through the OptimizerService.
+int RunService(QueryGenerator* generator, const CliOptions& cli) {
+  std::vector<Query> queries;
+  queries.reserve(static_cast<size_t>(cli.concurrent_queries));
+  for (int i = 0; i < cli.concurrent_queries; ++i) {
+    queries.push_back(generator->Generate(cli.tables));
+  }
+  ServiceOptions service_opts;
+  service_opts.backend_kind = cli.backend;
+  OptimizerService service(service_opts);
+  const MpqOptions opts = BuildMpqOptions(cli);
+  const BatchReport report = service.OptimizeBatch(queries, opts);
+
+  std::printf("service backend    %s\n", service.backend().name());
+  for (size_t i = 0; i < report.results.size(); ++i) {
+    const StatusOr<MpqResult>& r = report.results[i];
+    if (!r.ok()) {
+      std::printf("query %-3zu          error: %s\n", i,
+                  r.status().ToString().c_str());
+      continue;
+    }
+    std::printf(
+        "query %-3zu          cost %.6g, cluster %.2f ms, latency %.2f ms\n",
+        i, r.value().arena.node(r.value().best[0]).cost.time(),
+        r.value().simulated_seconds * 1e3, report.latency_seconds[i] * 1e3);
+  }
+  std::printf("batch wall         %.2f ms\n", report.wall_seconds * 1e3);
+  std::printf("throughput         %.1f queries/s\n",
+              report.queries_per_second);
+  const ServiceStats stats = service.stats();
+  std::printf("completed/failed   %llu / %llu\n",
+              static_cast<unsigned long long>(stats.queries_completed),
+              static_cast<unsigned long long>(stats.queries_failed));
+  return stats.queries_failed == 0 ? 0 : 1;
+}
+
+int RunMpq(const Query& query, const CliOptions& cli) {
+  MpqOptions opts = BuildMpqOptions(cli);
+  opts.backend = MakeBackend(cli.backend, opts.network, opts.max_threads);
   if (opts.interesting_orders && opts.objective != Objective::kTime) {
     std::fprintf(stderr, "interesting orders require --objective=time\n");
     return 1;
@@ -150,9 +214,9 @@ int RunMpq(const Query& query, const CliOptions& cli) {
     return 1;
   }
   const MpqResult& r = result.value();
-  std::printf("workers            %llu (%s)\n",
+  std::printf("workers            %llu (backend: %s)\n",
               static_cast<unsigned long long>(opts.num_workers),
-              cli.processes ? "forked processes" : "threads");
+              BackendKindName(cli.backend));
   std::printf("cluster time       %.2f ms (W-time %.2f ms)\n",
               r.simulated_seconds * 1e3, r.max_worker_seconds * 1e3);
   std::printf("memo relations     %lld per worker (max)\n",
@@ -185,13 +249,29 @@ int Main(int argc, char** argv) {
         "          [--space=linear|bushy] [--workers=M] [--seed=S]\n"
         "          [--objective=time|mo] [--alpha=A]\n"
         "          [--variant=dp|io|pqo] [--parametric-table=T]\n"
-        "          [--processes]\n",
+        "          [--backend=thread|process|async]\n"
+        "          [--concurrent-queries=Q]\n",
         argv[0]);
     return 2;
+  }
+  // Reject unusable worker counts up front instead of silently rounding:
+  // MPQ requires a power of two not exceeding the maximal parallelism of
+  // the query (the pqo variant rounds internally and is exempt).
+  if (cli.variant != "pqo") {
+    const Status workers_ok =
+        ValidateNumWorkers(cli.workers, cli.tables, cli.space);
+    if (!workers_ok.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   workers_ok.ToString().c_str());
+      return 2;
+    }
   }
   GeneratorOptions gen_opts;
   gen_opts.shape = cli.shape;
   QueryGenerator generator(gen_opts, cli.seed);
+  if (cli.concurrent_queries > 0 && cli.variant != "pqo") {
+    return RunService(&generator, cli);
+  }
   const Query query = generator.Generate(cli.tables);
   std::printf("%s", query.ToString().c_str());
   std::printf("plan space         %s\n", PlanSpaceName(cli.space));
