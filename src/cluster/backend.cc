@@ -4,6 +4,7 @@
 
 #include "cluster/async_batch_backend.h"
 #include "cluster/process_backend.h"
+#include "cluster/rpc_backend.h"
 #include "cluster/thread_backend.h"
 
 namespace mpqopt {
@@ -35,6 +36,8 @@ const char* BackendKindName(BackendKind kind) {
       return "process";
     case BackendKind::kAsyncBatch:
       return "async";
+    case BackendKind::kRpc:
+      return "rpc";
   }
   return "unknown";
 }
@@ -43,22 +46,56 @@ StatusOr<BackendKind> ParseBackendKind(const std::string& name) {
   if (name == "thread" || name == "threads") return BackendKind::kThread;
   if (name == "process" || name == "processes") return BackendKind::kProcess;
   if (name == "async" || name == "async-batch") return BackendKind::kAsyncBatch;
+  if (name == "rpc" || name == "remote") return BackendKind::kRpc;
   return Status::InvalidArgument("unknown backend '" + name +
-                                 "' (expected thread|process|async)");
+                                 "' (expected thread|process|async|rpc)");
+}
+
+StatusOr<std::shared_ptr<ExecutionBackend>> MakeBackend(
+    BackendKind kind, const BackendOptions& options) {
+  switch (kind) {
+    case BackendKind::kThread:
+      return std::shared_ptr<ExecutionBackend>(
+          std::make_shared<ThreadBackend>(options.network,
+                                          options.max_threads));
+    case BackendKind::kProcess:
+      return std::shared_ptr<ExecutionBackend>(
+          std::make_shared<ProcessBackend>(options.network));
+    case BackendKind::kAsyncBatch:
+      return std::shared_ptr<ExecutionBackend>(
+          std::make_shared<AsyncBatchBackend>(options.network,
+                                              options.max_threads));
+    case BackendKind::kRpc: {
+      const std::vector<std::string> endpoints =
+          SplitEndpoints(options.workers_addr);
+      if (endpoints.empty()) {
+        return Status::InvalidArgument(
+            "rpc backend requires worker endpoints "
+            "(--workers-addr=host:port[,host:port...])");
+      }
+      StatusOr<std::shared_ptr<RpcBackend>> backend = RpcBackend::Connect(
+          options.network, endpoints, options.connect_timeout_ms,
+          options.io_timeout_ms);
+      if (!backend.ok()) return backend.status();
+      return std::shared_ptr<ExecutionBackend>(std::move(backend).value());
+    }
+  }
+  return Status::InvalidArgument("unhandled backend kind " +
+                                 std::to_string(static_cast<int>(kind)));
 }
 
 std::shared_ptr<ExecutionBackend> MakeBackend(BackendKind kind,
                                               NetworkModel model,
                                               int max_threads) {
-  switch (kind) {
-    case BackendKind::kThread:
-      return std::make_shared<ThreadBackend>(model, max_threads);
-    case BackendKind::kProcess:
-      return std::make_shared<ProcessBackend>(model);
-    case BackendKind::kAsyncBatch:
-      return std::make_shared<AsyncBatchBackend>(model, max_threads);
-  }
-  return nullptr;
+  BackendOptions options;
+  options.network = model;
+  options.max_threads = max_threads;
+  StatusOr<std::shared_ptr<ExecutionBackend>> backend =
+      MakeBackend(kind, options);
+  // Only the in-process kinds may take this path (see header); their
+  // construction cannot fail.
+  MPQOPT_CHECK(backend.ok());
+  return std::move(backend).value();
 }
 
 }  // namespace mpqopt

@@ -17,6 +17,9 @@
 //                        rounds and interleaves tasks from concurrently
 //                        submitted rounds; the serving-shaped runtime that
 //                        OptimizerService multiplexes many queries onto.
+//  * RpcBackend        — tasks run in separate mpqopt_worker processes
+//                        reached over TCP (see cluster/rpc_backend.h); the
+//                        same byte contract, now on a real wire.
 //
 // All backends produce identical responses and identical byte counts for
 // the same tasks (asserted by tests/backend_test.cc); the modeled cluster
@@ -76,7 +79,8 @@ class ExecutionBackend {
       const std::vector<WorkerTask>& tasks,
       const std::vector<std::vector<uint8_t>>& requests) = 0;
 
-  /// Short human-readable backend name ("thread", "process", "async").
+  /// Short human-readable backend name ("thread", "process", "async",
+  /// "rpc").
   virtual const char* name() const = 0;
 
   const NetworkModel& network() const { return model_; }
@@ -101,17 +105,45 @@ enum class BackendKind : uint8_t {
   kThread = 0,     ///< per-round thread pool (default; cheap)
   kProcess = 1,    ///< forked processes — strict shared-nothing isolation
   kAsyncBatch = 2, ///< persistent pool, pipelined multi-round dispatch
+  kRpc = 3,        ///< remote mpqopt_worker processes over TCP
 };
 
-/// Name of a backend kind ("thread" / "process" / "async").
+/// Name of a backend kind ("thread" / "process" / "async" / "rpc").
 const char* BackendKindName(BackendKind kind);
 
 /// Parses a backend name as accepted by the CLI's --backend= flag.
 StatusOr<BackendKind> ParseBackendKind(const std::string& name);
 
-/// Creates a backend. `max_threads` caps host-side concurrency for the
-/// thread and async backends (0 = hardware concurrency); the process
-/// backend ignores it.
+/// Everything MakeBackend can need; kinds ignore the fields that do not
+/// apply to them.
+struct BackendOptions {
+  /// Simulated-cluster parameters (all kinds).
+  NetworkModel network;
+  /// Host-side concurrency cap for the thread and async backends
+  /// (0 = hardware concurrency).
+  int max_threads = 0;
+  /// Comma-separated "host:port" worker endpoints (numeric IPv4 or
+  /// "localhost") — required by kRpc, ignored by the in-process kinds.
+  std::string workers_addr;
+  /// TCP connect timeout per rpc worker endpoint.
+  int connect_timeout_ms = 5000;
+  /// Bound on each rpc reply wait; -1 waits indefinitely (worker compute
+  /// time is unbounded in general — see cluster/rpc_backend.h).
+  int io_timeout_ms = -1;
+};
+
+/// Creates a backend of `kind`. Fails with a descriptive Status when the
+/// options are unusable for the kind (e.g. kRpc without workers_addr) or
+/// a remote worker cannot be reached; the in-process kinds always
+/// succeed.
+StatusOr<std::shared_ptr<ExecutionBackend>> MakeBackend(
+    BackendKind kind, const BackendOptions& options);
+
+/// Convenience factory for the in-process kinds (thread/process/async),
+/// whose construction cannot fail. `max_threads` caps host-side
+/// concurrency for the thread and async backends (0 = hardware
+/// concurrency). CHECK-fails on kRpc — remote backends need endpoints and
+/// a real error path; use the BackendOptions overload.
 std::shared_ptr<ExecutionBackend> MakeBackend(BackendKind kind,
                                               NetworkModel model,
                                               int max_threads = 0);

@@ -1,0 +1,264 @@
+// Copyright 2026 mpqopt authors.
+
+#include "cluster/rpc_backend.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "cluster/task_registry.h"
+
+namespace mpqopt {
+namespace {
+
+constexpr size_t kReplyHeaderBytes = sizeof(double);  // compute seconds
+
+// The f64 compute-seconds header crosses the wire as its IEEE-754 bit
+// pattern in little-endian byte order, like the frame length prefix —
+// independent of either peer's host endianness.
+std::vector<uint8_t> BuildReplyPayload(double compute_seconds,
+                                       const uint8_t* body, size_t size) {
+  std::vector<uint8_t> payload(kReplyHeaderBytes + size);
+  uint64_t bits = 0;
+  std::memcpy(&bits, &compute_seconds, sizeof(bits));
+  for (size_t i = 0; i < sizeof(bits); ++i) {
+    payload[i] = static_cast<uint8_t>(bits >> (8 * i));
+  }
+  if (size > 0) std::memcpy(payload.data() + kReplyHeaderBytes, body, size);
+  return payload;
+}
+
+double DecodeReplySeconds(const std::vector<uint8_t>& payload) {
+  uint64_t bits = 0;
+  for (size_t i = 0; i < sizeof(bits); ++i) {
+    bits |= static_cast<uint64_t>(payload[i]) << (8 * i);
+  }
+  double seconds = 0;
+  std::memcpy(&seconds, &bits, sizeof(seconds));
+  return seconds;
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<RpcBackend>> RpcBackend::Connect(
+    NetworkModel model, const std::vector<std::string>& endpoints,
+    int connect_timeout_ms, int io_timeout_ms) {
+  if (endpoints.empty()) {
+    return Status::InvalidArgument(
+        "rpc backend needs at least one worker endpoint");
+  }
+  std::vector<std::unique_ptr<Connection>> connections;
+  connections.reserve(endpoints.size());
+  for (const std::string& endpoint : endpoints) {
+    StatusOr<Socket> socket = DialTcp(endpoint, connect_timeout_ms);
+    if (!socket.ok()) {
+      return Status::Internal("cannot connect to rpc worker " + endpoint +
+                              ": " + socket.status().ToString());
+    }
+    auto connection = std::make_unique<Connection>();
+    connection->endpoint = endpoint;
+    connection->socket = std::move(socket).value();
+    connections.push_back(std::move(connection));
+  }
+  return std::shared_ptr<RpcBackend>(
+      new RpcBackend(model, std::move(connections), io_timeout_ms));
+}
+
+Status RpcBackend::CallWorker(Connection* connection, uint8_t task_kind,
+                              const std::vector<uint8_t>& request,
+                              std::vector<uint8_t>* response,
+                              double* compute_seconds) {
+  std::lock_guard<std::mutex> lock(connection->mutex);
+  if (connection->dead) {
+    return Status::Internal("rpc worker " + connection->endpoint +
+                            " is disconnected");
+  }
+  Status s = SendFrame(connection->socket.fd(), task_kind, request);
+  if (!s.ok()) {
+    connection->dead = true;
+    return Status::Internal("rpc worker " + connection->endpoint +
+                            ": request send failed: " + s.ToString());
+  }
+  Frame reply;
+  s = RecvFrame(connection->socket.fd(), &reply, io_timeout_ms_);
+  if (!s.ok()) {
+    connection->dead = true;
+    return Status::Internal("rpc worker " + connection->endpoint +
+                            " disconnected or timed out mid-round: " +
+                            s.ToString());
+  }
+  if (reply.payload.size() < kReplyHeaderBytes) {
+    connection->dead = true;
+    return Status::Corruption("rpc worker " + connection->endpoint +
+                              " sent a truncated reply header");
+  }
+  const double seconds = DecodeReplySeconds(reply.payload);
+  if (reply.kind == static_cast<uint8_t>(RpcReplyKind::kTaskError)) {
+    // The task itself failed on a healthy worker; the connection stays
+    // usable for later rounds, matching the in-process backends.
+    return Status::Internal(
+        "rpc worker " + connection->endpoint + " task failed: " +
+        std::string(reply.payload.begin() + kReplyHeaderBytes,
+                    reply.payload.end()));
+  }
+  if (reply.kind != static_cast<uint8_t>(RpcReplyKind::kOk)) {
+    connection->dead = true;
+    return Status::Corruption("rpc worker " + connection->endpoint +
+                              " sent an unknown reply kind " +
+                              std::to_string(reply.kind));
+  }
+  *compute_seconds = seconds;
+  response->assign(reply.payload.begin() + kReplyHeaderBytes,
+                   reply.payload.end());
+  return Status::OK();
+}
+
+StatusOr<RoundResult> RpcBackend::RunRound(
+    const std::vector<WorkerTask>& tasks,
+    const std::vector<std::vector<uint8_t>>& requests) {
+  MPQOPT_CHECK_EQ(tasks.size(), requests.size());
+  const size_t num_tasks = tasks.size();
+  RoundResult result;
+  result.responses.resize(num_tasks);
+  result.compute_seconds.assign(num_tasks, 0.0);
+
+  // Every task must name a registered entry point and fit in a frame
+  // before anything is sent — a half-scattered round with an unshippable
+  // task helps nobody, and a purely local validation failure must not
+  // poison a healthy connection.
+  std::vector<uint8_t> kinds(num_tasks);
+  for (size_t i = 0; i < num_tasks; ++i) {
+    const RpcTaskKind kind = ResolveTaskKind(tasks[i]);
+    if (kind == RpcTaskKind::kUnknownTask) {
+      return Status::InvalidArgument(
+          "rpc backend can only ship registered worker entry points "
+          "(task " +
+          std::to_string(i) +
+          " wraps an unregistered function; see cluster/task_registry.h)");
+    }
+    if (requests[i].size() > kMaxFramePayloadBytes) {
+      return Status::InvalidArgument(
+          "request for task " + std::to_string(i) + " (" +
+          std::to_string(requests[i].size()) +
+          " bytes) exceeds the frame size limit");
+    }
+    kinds[i] = static_cast<uint8_t>(kind);
+  }
+
+  std::mutex error_mutex;
+  Status first_error = Status::OK();
+  const size_t num_connections = connections_.size();
+  // Task i goes to connection (base + i) % C; lane j walks its tasks in
+  // order, so one connection never sees interleaved frames from the same
+  // round. The per-round rotating base spreads concurrent small rounds
+  // (tasks < connections) across the whole pool instead of serializing
+  // them all behind connection 0.
+  const size_t base =
+      round_offset_.fetch_add(1, std::memory_order_relaxed) %
+      num_connections;
+  const auto run_lane = [&](size_t lane) {
+    Connection* connection =
+        connections_[(base + lane) % num_connections].get();
+    for (size_t i = lane; i < num_tasks; i += num_connections) {
+      Status s = CallWorker(connection, kinds[i], requests[i],
+                            &result.responses[i], &result.compute_seconds[i]);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> error_lock(error_mutex);
+        if (first_error.ok()) first_error = s;
+        return;
+      }
+    }
+  };
+
+  const auto round_start = std::chrono::steady_clock::now();
+  const size_t lanes = std::min(num_connections, num_tasks);
+  if (lanes <= 1) {
+    if (lanes == 1) run_lane(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(lanes);
+    for (size_t lane = 0; lane < lanes; ++lane) {
+      pool.emplace_back(run_lane, lane);
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  const auto round_end = std::chrono::steady_clock::now();
+  result.wall_seconds =
+      std::chrono::duration<double>(round_end - round_start).count();
+  if (!first_error.ok()) return first_error;
+
+  FinalizeRound(requests, &result);
+  return result;
+}
+
+std::vector<std::string> SplitEndpoints(const std::string& comma_separated) {
+  std::vector<std::string> endpoints;
+  size_t begin = 0;
+  while (begin <= comma_separated.size()) {
+    size_t end = comma_separated.find(',', begin);
+    if (end == std::string::npos) end = comma_separated.size();
+    if (end > begin) {
+      endpoints.push_back(comma_separated.substr(begin, end - begin));
+    }
+    begin = end + 1;
+  }
+  return endpoints;
+}
+
+void ServeRpcConnection(Socket socket) {
+  for (;;) {
+    Frame request;
+    if (!RecvFrame(socket.fd(), &request).ok()) {
+      return;  // clean close between frames, or a broken peer — either way
+               // this connection is done
+    }
+    const WorkerTask task =
+        TaskForKind(static_cast<RpcTaskKind>(request.kind));
+    RpcReplyKind reply_kind = RpcReplyKind::kOk;
+    std::vector<uint8_t> body;
+    const auto start = std::chrono::steady_clock::now();
+    if (task == nullptr) {
+      reply_kind = RpcReplyKind::kTaskError;
+      const std::string msg = "unknown task kind " +
+                              std::to_string(request.kind) +
+                              " (worker/master version mismatch?)";
+      body.assign(msg.begin(), msg.end());
+    } else {
+      StatusOr<std::vector<uint8_t>> response = task(request.payload);
+      if (response.ok()) {
+        body = std::move(response).value();
+        if (body.size() > kMaxFramePayloadBytes - kReplyHeaderBytes) {
+          // Report the oversize as a task error instead of failing the
+          // send and tearing down a healthy connection.
+          reply_kind = RpcReplyKind::kTaskError;
+          const std::string msg = "response of " +
+                                  std::to_string(body.size()) +
+                                  " bytes exceeds the frame size limit";
+          body.assign(msg.begin(), msg.end());
+        }
+      } else {
+        reply_kind = RpcReplyKind::kTaskError;
+        const std::string msg = response.status().ToString();
+        body.assign(msg.begin(), msg.end());
+      }
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(end - start).count();
+    const std::vector<uint8_t> payload =
+        BuildReplyPayload(seconds, body.data(), body.size());
+    if (!SendFrame(socket.fd(), static_cast<uint8_t>(reply_kind), payload)
+             .ok()) {
+      return;
+    }
+  }
+}
+
+Status ServeRpcWorker(TcpListener* listener) {
+  for (;;) {
+    StatusOr<Socket> accepted = listener->Accept(/*timeout_ms=*/-1);
+    if (!accepted.ok()) return accepted.status();
+    std::thread(ServeRpcConnection, std::move(accepted).value()).detach();
+  }
+}
+
+}  // namespace mpqopt

@@ -1,0 +1,120 @@
+// Copyright 2026 mpqopt authors.
+//
+// RpcBackend — ExecutionBackend over real TCP sockets.
+//
+// The other backends host worker tasks on this machine; RpcBackend is the
+// first genuinely distributed runtime: each round's requests are
+// scattered over a pool of persistent connections to mpqopt_worker server
+// processes (one connection per worker endpoint, round-robin when a round
+// has more tasks than workers), and the request/response byte contract on
+// the wire is exactly the payload contract the in-process backends
+// execute — the conformance suite in tests/backend_test.cc asserts
+// byte-identical responses and identical TrafficStats across all four
+// backends.
+//
+// Protocol, on top of the framed transport (src/net/frame_transport.h):
+//
+//   request frame   kind = RpcTaskKind, payload = request bytes
+//   reply frame     kind = 0 (ok) | 1 (task error)
+//                   payload = f64 compute-seconds (little-endian), then
+//                             response bytes (ok) or status text (error)
+//
+// The compute seconds are measured INSIDE the worker process (shipped as
+// a little-endian IEEE-754 bit pattern), so FinalizeRound's modeled
+// cluster time stays comparable with every other backend. A worker that
+// CRASHES mid-round surfaces as an error Status on the round, not a
+// hang: the kernel delivers an EOF/RST for the dead peer, and the
+// connection is marked dead so later rounds touching it fail fast too.
+// A peer that silently stops answering without closing (network
+// partition, SIGSTOP, half-open TCP) is a different failure mode —
+// connections enable TCP keepalive, and `io_timeout_ms` bounds each
+// reply wait when a deployment needs a hard deadline (the default, -1,
+// waits indefinitely: worker compute time is unbounded in general).
+//
+// Thread safety: RunRound may be called concurrently; a per-connection
+// mutex serializes whole request/response exchanges, so interleaved
+// rounds cannot mix frames on one stream.
+
+#ifndef MPQOPT_CLUSTER_RPC_BACKEND_H_
+#define MPQOPT_CLUSTER_RPC_BACKEND_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/backend.h"
+#include "net/frame_transport.h"
+
+namespace mpqopt {
+
+/// Reply-frame tags (the `kind` byte of frames flowing worker -> master).
+enum class RpcReplyKind : uint8_t {
+  kOk = 0,
+  kTaskError = 1,
+};
+
+/// Master-side backend dispatching rounds to remote worker processes.
+class RpcBackend : public ExecutionBackend {
+ public:
+  /// Connects to every "host:port" endpoint; fails (naming the endpoint)
+  /// if any worker is unreachable within the timeout. `io_timeout_ms`
+  /// bounds each per-task reply wait (-1 = wait indefinitely; see the
+  /// header comment).
+  static StatusOr<std::shared_ptr<RpcBackend>> Connect(
+      NetworkModel model, const std::vector<std::string>& endpoints,
+      int connect_timeout_ms = 5000, int io_timeout_ms = -1);
+
+  StatusOr<RoundResult> RunRound(
+      const std::vector<WorkerTask>& tasks,
+      const std::vector<std::vector<uint8_t>>& requests) override;
+
+  const char* name() const override { return "rpc"; }
+
+  /// Number of connected worker endpoints (the scatter width).
+  size_t num_connections() const { return connections_.size(); }
+
+ private:
+  struct Connection {
+    std::string endpoint;
+    Socket socket;
+    std::mutex mutex;  ///< serializes request/response pairs; guards `dead`
+    bool dead = false;
+  };
+
+  RpcBackend(NetworkModel model,
+             std::vector<std::unique_ptr<Connection>> connections,
+             int io_timeout_ms)
+      : ExecutionBackend(model),
+        connections_(std::move(connections)),
+        io_timeout_ms_(io_timeout_ms) {}
+
+  /// One request/response exchange on `connection` (locked inside).
+  Status CallWorker(Connection* connection, uint8_t task_kind,
+                    const std::vector<uint8_t>& request,
+                    std::vector<uint8_t>* response, double* compute_seconds);
+
+  std::vector<std::unique_ptr<Connection>> connections_;
+  int io_timeout_ms_ = -1;
+  /// Rotates each round's first connection so concurrent small rounds
+  /// spread over the whole pool.
+  std::atomic<size_t> round_offset_{0};
+};
+
+/// Splits a comma-separated "--workers-addr=" value into endpoints,
+/// dropping empty entries.
+std::vector<std::string> SplitEndpoints(const std::string& comma_separated);
+
+/// Worker-server side: serves framed task requests on one established
+/// connection until the peer disconnects. Runs the registered entry point
+/// for each request's task kind; unknown kinds get a task-error reply.
+void ServeRpcConnection(Socket socket);
+
+/// Accept loop of mpqopt_worker: spawns one detached serving thread per
+/// accepted connection. Returns only when accept fails fatally.
+Status ServeRpcWorker(TcpListener* listener);
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_CLUSTER_RPC_BACKEND_H_

@@ -1,0 +1,92 @@
+// Copyright 2026 mpqopt authors.
+
+#include "cluster/task_registry.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/serialize.h"
+#include "mpq/heterogeneous.h"
+#include "mpq/mpq.h"
+
+namespace mpqopt {
+namespace {
+
+/// The exact function-pointer type a registrable entry point must have;
+/// ResolveTaskKind can only see through std::functions wrapping this type.
+using WorkerFn =
+    StatusOr<std::vector<uint8_t>> (*)(const std::vector<uint8_t>&);
+
+}  // namespace
+
+const char* RpcTaskKindName(RpcTaskKind kind) {
+  switch (kind) {
+    case RpcTaskKind::kUnknownTask:
+      return "unknown";
+    case RpcTaskKind::kMpqWorker:
+      return "mpq";
+    case RpcTaskKind::kHeteroWorker:
+      return "hetero";
+    case RpcTaskKind::kEchoTask:
+      return "echo";
+    case RpcTaskKind::kFailTask:
+      return "fail";
+    case RpcTaskKind::kSleepEchoTask:
+      return "sleep-echo";
+  }
+  return "unknown";
+}
+
+StatusOr<std::vector<uint8_t>> EchoTaskMain(
+    const std::vector<uint8_t>& request) {
+  return request;
+}
+
+StatusOr<std::vector<uint8_t>> FailTaskMain(
+    const std::vector<uint8_t>& request) {
+  return Status::Corruption(std::string(request.begin(), request.end()));
+}
+
+StatusOr<std::vector<uint8_t>> SleepEchoTaskMain(
+    const std::vector<uint8_t>& request) {
+  ByteReader reader(request);
+  uint32_t sleep_ms = 0;
+  Status s = reader.ReadU32(&sleep_ms);
+  if (!s.ok()) return s;
+  std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  return std::vector<uint8_t>(request.begin() + sizeof(sleep_ms),
+                              request.end());
+}
+
+RpcTaskKind ResolveTaskKind(const WorkerTask& task) {
+  const WorkerFn* fn = task.target<WorkerFn>();
+  if (fn == nullptr) return RpcTaskKind::kUnknownTask;
+  if (*fn == &MpqOptimizer::WorkerMain) return RpcTaskKind::kMpqWorker;
+  if (*fn == &HeteroMpqOptimizer::WorkerMain) {
+    return RpcTaskKind::kHeteroWorker;
+  }
+  if (*fn == &EchoTaskMain) return RpcTaskKind::kEchoTask;
+  if (*fn == &FailTaskMain) return RpcTaskKind::kFailTask;
+  if (*fn == &SleepEchoTaskMain) return RpcTaskKind::kSleepEchoTask;
+  return RpcTaskKind::kUnknownTask;
+}
+
+WorkerTask TaskForKind(RpcTaskKind kind) {
+  switch (kind) {
+    case RpcTaskKind::kUnknownTask:
+      return nullptr;
+    case RpcTaskKind::kMpqWorker:
+      return WorkerTask(&MpqOptimizer::WorkerMain);
+    case RpcTaskKind::kHeteroWorker:
+      return WorkerTask(&HeteroMpqOptimizer::WorkerMain);
+    case RpcTaskKind::kEchoTask:
+      return WorkerTask(&EchoTaskMain);
+    case RpcTaskKind::kFailTask:
+      return WorkerTask(&FailTaskMain);
+    case RpcTaskKind::kSleepEchoTask:
+      return WorkerTask(&SleepEchoTaskMain);
+  }
+  return nullptr;
+}
+
+}  // namespace mpqopt

@@ -1,0 +1,66 @@
+// Copyright 2026 mpqopt authors.
+//
+// Task-kind registry — names the worker entry points that can cross a
+// real network.
+//
+// In-process backends execute arbitrary WorkerTask std::functions, but a
+// remote worker cannot receive a closure: RpcBackend ships each request
+// tagged with a registered TASK KIND, and the worker server maps the tag
+// back to the matching entry point. Only self-contained functions from
+// request bytes to response bytes can be registered — exactly the wire
+// contract MpqOptimizer::WorkerMain and HeteroMpqOptimizer::WorkerMain
+// already satisfy. (SMA's per-node tasks close over the node's memo
+// replica and are deliberately NOT registrable; a stateful worker needs a
+// session protocol, not a bigger registry.)
+//
+// The registry also carries three tiny diagnostic kinds (echo, fail,
+// sleep-echo) so the cross-backend conformance suite and the worker-crash
+// tests can drive a remote worker without involving an optimizer.
+
+#ifndef MPQOPT_CLUSTER_TASK_REGISTRY_H_
+#define MPQOPT_CLUSTER_TASK_REGISTRY_H_
+
+#include <cstdint>
+
+#include "cluster/backend.h"
+#include "common/status.h"
+
+namespace mpqopt {
+
+/// Wire tag of one registered worker entry point. Values are part of the
+/// RPC protocol — append new kinds, never renumber.
+enum class RpcTaskKind : uint8_t {
+  kUnknownTask = 0,    ///< unregistered function — not shippable
+  kMpqWorker = 1,      ///< MpqOptimizer::WorkerMain
+  kHeteroWorker = 2,   ///< HeteroMpqOptimizer::WorkerMain
+  kEchoTask = 3,       ///< diagnostic: response = request
+  kFailTask = 4,       ///< diagnostic: fails with the request as message
+  kSleepEchoTask = 5,  ///< diagnostic: u32 ms sleep, then echo the rest
+};
+
+/// Human-readable kind name for error messages.
+const char* RpcTaskKindName(RpcTaskKind kind);
+
+/// Diagnostic entry point: returns the request unchanged.
+StatusOr<std::vector<uint8_t>> EchoTaskMain(const std::vector<uint8_t>& request);
+
+/// Diagnostic entry point: returns Corruption with the request bytes
+/// interpreted as the error message.
+StatusOr<std::vector<uint8_t>> FailTaskMain(const std::vector<uint8_t>& request);
+
+/// Diagnostic entry point: request = u32 sleep milliseconds + body;
+/// sleeps, then echoes the body. Used to hold a remote worker busy while
+/// crash handling is exercised.
+StatusOr<std::vector<uint8_t>> SleepEchoTaskMain(
+    const std::vector<uint8_t>& request);
+
+/// Maps a WorkerTask back to its registered kind, or kUnknownTask when
+/// the task wraps anything but a registered entry-point function pointer.
+RpcTaskKind ResolveTaskKind(const WorkerTask& task);
+
+/// Maps a wire tag to the entry point it names; null for unknown tags.
+WorkerTask TaskForKind(RpcTaskKind kind);
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_CLUSTER_TASK_REGISTRY_H_

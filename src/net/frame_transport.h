@@ -1,0 +1,110 @@
+// Copyright 2026 mpqopt authors.
+//
+// Framed-message TCP transport — the real-socket substrate under
+// RpcBackend. Everything above the simulated NetworkModel clock in this
+// repository already speaks in self-contained byte payloads; this header
+// moves those payloads over actual TCP connections.
+//
+// Wire format of one frame:
+//
+//   u8  kind      application-defined tag (task kind on requests,
+//                 ok/error on replies)
+//   u64 length    payload byte count, little-endian
+//   ..  payload   `length` bytes
+//
+// All calls are blocking with optional timeouts, handle partial reads and
+// writes (short send()/recv(), EINTR), never raise SIGPIPE, and report
+// failures as Status values: a peer that closes cleanly between frames
+// yields kNotFound ("peer closed"), a disconnect in the middle of a frame
+// yields kCorruption, oversized frames are rejected before allocation, and
+// timeouts surface as kInternal with "timed out" in the message.
+
+#ifndef MPQOPT_NET_FRAME_TRANSPORT_H_
+#define MPQOPT_NET_FRAME_TRANSPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace mpqopt {
+
+/// Owning file-descriptor handle for a connected TCP stream.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  MPQOPT_DISALLOW_COPY_AND_ASSIGN(Socket);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// One framed message.
+struct Frame {
+  uint8_t kind = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Frames larger than this are rejected by both sender and receiver —
+/// a corrupted length prefix must not become a 2^60-byte allocation.
+constexpr uint64_t kMaxFramePayloadBytes = uint64_t{1} << 30;
+
+/// Sends one frame, looping over partial writes. Never raises SIGPIPE; a
+/// broken connection returns kInternal.
+Status SendFrame(int fd, uint8_t kind, const std::vector<uint8_t>& payload);
+
+/// Receives one frame. `timeout_ms` < 0 blocks indefinitely; otherwise
+/// it is one absolute deadline on the whole frame (header + payload) —
+/// a peer trickling bytes cannot stretch it. Clean peer close before the
+/// first header byte returns kNotFound; a disconnect mid-frame returns
+/// kCorruption.
+Status RecvFrame(int fd, Frame* frame, int timeout_ms = -1);
+
+/// Splits "host:port" and validates the port range.
+Status ParseHostPort(const std::string& endpoint, std::string* host,
+                     int* port);
+
+/// Connects to "host:port" (numeric IPv4, or "localhost") with a bound
+/// connect timeout, and disables Nagle on the resulting stream.
+StatusOr<Socket> DialTcp(const std::string& endpoint, int timeout_ms);
+
+/// Listening TCP socket; Bind with port 0 picks an ephemeral port, which
+/// `port()` reports.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  static StatusOr<TcpListener> Bind(const std::string& host, int port);
+
+  /// Accepts one connection. `timeout_ms` < 0 blocks indefinitely; on
+  /// timeout returns kInternal with "timed out" in the message.
+  StatusOr<Socket> Accept(int timeout_ms = -1);
+
+  bool valid() const { return socket_.valid(); }
+  int port() const { return port_; }
+
+ private:
+  Socket socket_;
+  int port_ = 0;
+};
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_NET_FRAME_TRANSPORT_H_

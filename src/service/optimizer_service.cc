@@ -12,14 +12,30 @@ namespace mpqopt {
 OptimizerService::OptimizerService(ServiceOptions options)
     : options_(std::move(options)), backend_(options_.backend) {
   if (backend_ == nullptr) {
-    backend_ = MakeBackend(options_.backend_kind, options_.network,
-                           options_.backend_threads);
+    BackendOptions backend_opts;
+    backend_opts.network = options_.network;
+    backend_opts.max_threads = options_.backend_threads;
+    backend_opts.workers_addr = options_.workers_addr;
+    StatusOr<std::shared_ptr<ExecutionBackend>> made =
+        MakeBackend(options_.backend_kind, backend_opts);
+    if (made.ok()) {
+      backend_ = std::move(made).value();
+    } else {
+      // Surface the misconfiguration (e.g. kRpc without reachable
+      // workers) from Optimize() instead of aborting a serving process.
+      init_error_ = made.status();
+    }
   }
   if (options_.dispatcher_threads < 1) options_.dispatcher_threads = 1;
 }
 
 StatusOr<MpqResult> OptimizerService::Optimize(const Query& query,
                                                const MpqOptions& options) {
+  if (backend_ == nullptr) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.queries_failed;
+    return init_error_;
+  }
   const auto start = std::chrono::steady_clock::now();
   MpqOptions effective = options;
   effective.backend = backend_;

@@ -30,12 +30,17 @@ namespace mpqopt {
 /// Configuration of the service runtime.
 struct ServiceOptions {
   /// Shared worker-execution runtime. Null (default) builds one from
-  /// `backend_kind`, `network`, and `backend_threads`.
+  /// `backend_kind`, `network`, `backend_threads`, and (for kRpc)
+  /// `workers_addr`. If that construction fails — e.g. kRpc with no
+  /// reachable workers — the service reports the error from every
+  /// Optimize() call instead of aborting.
   std::shared_ptr<ExecutionBackend> backend;
   BackendKind backend_kind = BackendKind::kAsyncBatch;
   NetworkModel network;
   /// Host threads of the shared backend (0 = hardware concurrency).
   int backend_threads = 0;
+  /// Worker endpoints when backend_kind == kRpc and `backend` is null.
+  std::string workers_addr;
   /// Maximum number of query masters driven concurrently by
   /// OptimizeBatch (the per-query master work: serialize, submit round,
   /// final prune). Optimize() callers bring their own threads and are
@@ -85,6 +90,11 @@ class OptimizerService {
   /// Aggregate counters since construction (thread-safe snapshot).
   ServiceStats stats() const;
 
+  /// OK iff the service has a usable backend; otherwise the construction
+  /// error every Optimize() call will report.
+  const Status& init_status() const { return init_error_; }
+
+  /// Requires init_status().ok().
   const ExecutionBackend& backend() const { return *backend_; }
   std::shared_ptr<ExecutionBackend> shared_backend() const {
     return backend_;
@@ -93,6 +103,7 @@ class OptimizerService {
  private:
   ServiceOptions options_;
   std::shared_ptr<ExecutionBackend> backend_;
+  Status init_error_;
 
   mutable std::mutex stats_mutex_;
   ServiceStats stats_;

@@ -3,7 +3,10 @@
 // Backend-parameterized wire-contract tests: every ExecutionBackend must
 // produce byte-identical worker responses and consistent TrafficStats for
 // the same tasks — the property that makes the hosting choice (threads,
-// processes, persistent async pool) invisible to the optimizers.
+// processes, persistent async pool, remote RPC workers) invisible to the
+// optimizers. The kRpc parameter self-hosts: the fixture spawns real
+// mpqopt_worker subprocesses on loopback, so the same assertions run over
+// actual sockets.
 
 #include "cluster/backend.h"
 
@@ -13,8 +16,10 @@
 
 #include "catalog/generator.h"
 #include "cluster/async_batch_backend.h"
+#include "cluster/task_registry.h"
 #include "mpq/mpq.h"
 #include "sma/sma.h"
+#include "tests/rpc_test_util.h"
 
 namespace mpqopt {
 namespace {
@@ -26,17 +31,29 @@ Query MakeQuery(int n, uint64_t seed) {
   return gen.Generate(n);
 }
 
-WorkerTask Echo() {
-  return [](const std::vector<uint8_t>& request)
-             -> StatusOr<std::vector<uint8_t>> { return request; };
-}
+/// Echo through the registered entry point, so the task is shippable to a
+/// remote worker as well as runnable in-process.
+WorkerTask Echo() { return WorkerTask(&EchoTaskMain); }
 
 class BackendTest : public ::testing::TestWithParam<BackendKind> {
  protected:
+  void SetUp() override {
+    if (GetParam() == BackendKind::kRpc) farm_.Start(2);
+  }
+
   std::shared_ptr<ExecutionBackend> MakeTestBackend(
       NetworkModel model = NetworkModel{}) {
-    return MakeBackend(GetParam(), model, /*max_threads=*/2);
+    BackendOptions options;
+    options.network = model;
+    options.max_threads = 2;
+    options.workers_addr = farm_.workers_addr();
+    StatusOr<std::shared_ptr<ExecutionBackend>> backend =
+        MakeBackend(GetParam(), options);
+    MPQOPT_CHECK(backend.ok());
+    return std::move(backend).value();
   }
+
+  RpcWorkerFarm farm_;
 };
 
 TEST_P(BackendTest, EchoRoundTrip) {
@@ -54,11 +71,12 @@ TEST_P(BackendTest, EchoRoundTrip) {
 
 TEST_P(BackendTest, ErrorPropagates) {
   auto backend = MakeTestBackend();
-  const WorkerTask failing =
-      [](const std::vector<uint8_t>&) -> StatusOr<std::vector<uint8_t>> {
-    return Status::Corruption("bad payload");
-  };
-  StatusOr<RoundResult> round = backend->RunRound({Echo(), failing}, {{1}, {2}});
+  // FailTaskMain fails with the request bytes as the message — a
+  // registered entry point, so the error path is exercised remotely too.
+  const std::string message = "bad payload";
+  StatusOr<RoundResult> round = backend->RunRound(
+      {Echo(), WorkerTask(&FailTaskMain)},
+      {{1}, std::vector<uint8_t>(message.begin(), message.end())});
   EXPECT_FALSE(round.ok());
   EXPECT_NE(round.status().message().find("bad payload"), std::string::npos);
 }
@@ -160,6 +178,12 @@ TEST_P(BackendTest, MpqOptimizeMatchesDefaultBackend) {
 TEST_P(BackendTest, SmaRunsOnEveryBackend) {
   // SMA's per-level chunk computation goes through the backend too; the
   // result and byte counts must not depend on the hosting choice.
+  if (GetParam() == BackendKind::kRpc) {
+    GTEST_SKIP() << "SMA worker tasks close over per-node memo replicas "
+                    "(the emulated shared memotable) and cannot be shipped "
+                    "to stateless remote workers; see "
+                    "cluster/task_registry.h";
+  }
   const Query q = MakeQuery(8, 419);
   SmaOptions base;
   base.space = PlanSpace::kLinear;
@@ -181,7 +205,8 @@ TEST_P(BackendTest, SmaRunsOnEveryBackend) {
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendTest,
                          ::testing::Values(BackendKind::kThread,
                                            BackendKind::kProcess,
-                                           BackendKind::kAsyncBatch),
+                                           BackendKind::kAsyncBatch,
+                                           BackendKind::kRpc),
                          [](const auto& info) {
                            return std::string(BackendKindName(info.param));
                          });
@@ -190,8 +215,23 @@ TEST(BackendFactoryTest, ParseBackendKind) {
   EXPECT_TRUE(ParseBackendKind("thread").ok());
   EXPECT_TRUE(ParseBackendKind("process").ok());
   EXPECT_TRUE(ParseBackendKind("async").ok());
+  EXPECT_TRUE(ParseBackendKind("rpc").ok());
   EXPECT_EQ(ParseBackendKind("async").value(), BackendKind::kAsyncBatch);
-  EXPECT_FALSE(ParseBackendKind("spark").ok());
+  EXPECT_EQ(ParseBackendKind("rpc").value(), BackendKind::kRpc);
+  const StatusOr<BackendKind> unknown = ParseBackendKind("spark");
+  ASSERT_FALSE(unknown.ok());
+  // The error enumerates every valid name.
+  for (const char* name : {"thread", "process", "async", "rpc"}) {
+    EXPECT_NE(unknown.status().message().find(name), std::string::npos)
+        << name;
+  }
+}
+
+TEST(BackendFactoryTest, RpcWithoutEndpointsIsACleanError) {
+  StatusOr<std::shared_ptr<ExecutionBackend>> backend =
+      MakeBackend(BackendKind::kRpc, BackendOptions{});
+  ASSERT_FALSE(backend.ok());
+  EXPECT_EQ(backend.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(AsyncBatchBackendTest, PersistentPoolSurvivesManyRounds) {

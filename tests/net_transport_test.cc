@@ -1,0 +1,259 @@
+// Copyright 2026 mpqopt authors.
+//
+// Unit tests of the framed-message TCP transport under RpcBackend:
+// framing round-trips, oversized-frame rejection, peer disconnects in
+// every phase of a frame, and bounded (non-hanging) connect/accept/recv
+// waits.
+
+#include "net/frame_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace mpqopt {
+namespace {
+
+/// A connected loopback (client, server) socket pair built from the real
+/// listener/dial path.
+struct TcpPair {
+  Socket client;
+  Socket server;
+};
+
+TcpPair MakeTcpPair() {
+  StatusOr<TcpListener> listener = TcpListener::Bind("127.0.0.1", 0);
+  EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+  StatusOr<Socket> client = DialTcp(
+      "127.0.0.1:" + std::to_string(listener.value().port()), 2000);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  StatusOr<Socket> server = listener.value().Accept(2000);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  TcpPair pair;
+  pair.client = std::move(client).value();
+  pair.server = std::move(server).value();
+  return pair;
+}
+
+TEST(FrameTransportTest, FramingRoundTrip) {
+  TcpPair pair = MakeTcpPair();
+  std::vector<uint8_t> payload(1 << 16);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  ASSERT_TRUE(SendFrame(pair.client.fd(), 42, payload).ok());
+  Frame received;
+  ASSERT_TRUE(RecvFrame(pair.server.fd(), &received).ok());
+  EXPECT_EQ(received.kind, 42);
+  EXPECT_EQ(received.payload, payload);
+
+  // And back the other way, with an empty payload.
+  ASSERT_TRUE(SendFrame(pair.server.fd(), 7, {}).ok());
+  ASSERT_TRUE(RecvFrame(pair.client.fd(), &received).ok());
+  EXPECT_EQ(received.kind, 7);
+  EXPECT_TRUE(received.payload.empty());
+}
+
+TEST(FrameTransportTest, ManyFramesInOrderOnOneStream) {
+  TcpPair pair = MakeTcpPair();
+  for (uint8_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(SendFrame(pair.client.fd(), i, {i, i, i}).ok());
+  }
+  for (uint8_t i = 0; i < 50; ++i) {
+    Frame frame;
+    ASSERT_TRUE(RecvFrame(pair.server.fd(), &frame).ok());
+    EXPECT_EQ(frame.kind, i);
+    EXPECT_EQ(frame.payload, (std::vector<uint8_t>{i, i, i}));
+  }
+}
+
+TEST(FrameTransportTest, OversizedFrameIsRejectedByReceiver) {
+  TcpPair pair = MakeTcpPair();
+  // Hand-craft a header whose length prefix exceeds the limit; the
+  // receiver must reject it from the header alone, before any allocation.
+  uint8_t header[9];
+  header[0] = 1;
+  const uint64_t huge = kMaxFramePayloadBytes + 1;
+  for (int i = 0; i < 8; ++i) {
+    header[1 + i] = static_cast<uint8_t>(huge >> (8 * i));
+  }
+  ASSERT_EQ(::send(pair.client.fd(), header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  Frame frame;
+  const Status s = RecvFrame(pair.server.fd(), &frame);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("frame size limit"), std::string::npos);
+}
+
+TEST(FrameTransportTest, SendToClosedPeerFailsWithoutSigpipe) {
+  TcpPair pair = MakeTcpPair();
+  pair.server.Close();
+  // Once the reset propagates, writes must fail with a Status instead of
+  // killing the process with SIGPIPE. The first send can still succeed
+  // into the socket buffer, so push until the error surfaces.
+  const std::vector<uint8_t> payload(1 << 20, 0xab);
+  Status s = Status::OK();
+  for (int attempt = 0; attempt < 8 && s.ok(); ++attempt) {
+    s = SendFrame(pair.client.fd(), 1, payload);
+  }
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(FrameTransportTest, CleanPeerCloseBetweenFramesIsNotFound) {
+  TcpPair pair = MakeTcpPair();
+  pair.client.Close();
+  Frame frame;
+  const Status s = RecvFrame(pair.server.fd(), &frame);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_NE(s.message().find("peer closed"), std::string::npos);
+}
+
+TEST(FrameTransportTest, PeerDisconnectMidHeaderIsCorruption) {
+  TcpPair pair = MakeTcpPair();
+  const uint8_t partial_header[3] = {1, 2, 3};
+  ASSERT_EQ(::send(pair.client.fd(), partial_header, sizeof(partial_header), 0),
+            static_cast<ssize_t>(sizeof(partial_header)));
+  pair.client.Close();
+  Frame frame;
+  const Status s = RecvFrame(pair.server.fd(), &frame);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("mid-frame"), std::string::npos);
+}
+
+TEST(FrameTransportTest, PeerDisconnectMidPayloadIsCorruption) {
+  TcpPair pair = MakeTcpPair();
+  // A valid header promising 100 payload bytes, but only 10 arrive.
+  uint8_t header[9] = {0};
+  header[0] = 5;
+  header[1] = 100;
+  ASSERT_EQ(::send(pair.client.fd(), header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  const uint8_t some[10] = {0};
+  ASSERT_EQ(::send(pair.client.fd(), some, sizeof(some), 0),
+            static_cast<ssize_t>(sizeof(some)));
+  pair.client.Close();
+  Frame frame;
+  const Status s = RecvFrame(pair.server.fd(), &frame);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("mid-frame"), std::string::npos);
+}
+
+TEST(FrameTransportTest, RecvTimesOutWhenPeerIsSilent) {
+  TcpPair pair = MakeTcpPair();
+  Frame frame;
+  const auto start = std::chrono::steady_clock::now();
+  const Status s = RecvFrame(pair.server.fd(), &frame, /*timeout_ms=*/100);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("timed out"), std::string::npos);
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(FrameTransportTest, AcceptTimesOutWithNoClient) {
+  StatusOr<TcpListener> listener = TcpListener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  const StatusOr<Socket> accepted = listener.value().Accept(/*timeout_ms=*/100);
+  ASSERT_FALSE(accepted.ok());
+  EXPECT_NE(accepted.status().message().find("timed out"), std::string::npos);
+}
+
+TEST(FrameTransportTest, ConnectToDeadEndpointFailsBounded) {
+  // A port nobody listens on: bind an ephemeral port, note it, release it.
+  int dead_port = 0;
+  {
+    StatusOr<TcpListener> listener = TcpListener::Bind("127.0.0.1", 0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = listener.value().port();
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const StatusOr<Socket> socket =
+      DialTcp("127.0.0.1:" + std::to_string(dead_port), /*timeout_ms=*/500);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(socket.ok());
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(FrameTransportTest, ConnectTimeoutIsBounded) {
+  // Provoke a half-open connect deterministically: a listener with
+  // backlog 1 that never accepts. Once its accept queue is full the
+  // kernel drops further SYNs, so the dial blocks — and must come back
+  // within the timeout, not hang. Each attempt is also individually
+  // bounded, whatever the environment does with the handshake.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(listen_fd, 0);
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd,
+                          reinterpret_cast<struct sockaddr*>(&addr), &len),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  const std::string endpoint =
+      "127.0.0.1:" + std::to_string(ntohs(addr.sin_port));
+
+  bool saw_timeout = false;
+  std::vector<Socket> held;  // keep queued connections alive
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 16 && !saw_timeout; ++i) {
+    StatusOr<Socket> socket = DialTcp(endpoint, /*timeout_ms=*/250);
+    if (socket.ok()) {
+      held.push_back(std::move(socket).value());
+    } else {
+      saw_timeout =
+          socket.status().message().find("timed out") != std::string::npos;
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ::close(listen_fd);
+  // 16 dials at <= 250 ms each: whether they queue or time out, the
+  // bounded-connect contract holds iff we get here promptly.
+  EXPECT_LT(elapsed, 16 * 0.25 + 5.0);
+  if (!saw_timeout) {
+    GTEST_SKIP() << "environment completes handshakes past a full backlog "
+                    "(all 16 dials connected); timeout path not provokable "
+                    "here";
+  }
+}
+
+TEST(FrameTransportTest, ParseHostPort) {
+  std::string host;
+  int port = 0;
+  EXPECT_TRUE(ParseHostPort("127.0.0.1:7001", &host, &port).ok());
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 7001);
+  EXPECT_FALSE(ParseHostPort("127.0.0.1", &host, &port).ok());
+  EXPECT_FALSE(ParseHostPort(":7001", &host, &port).ok());
+  EXPECT_FALSE(ParseHostPort("127.0.0.1:", &host, &port).ok());
+  EXPECT_FALSE(ParseHostPort("127.0.0.1:notaport", &host, &port).ok());
+  EXPECT_FALSE(ParseHostPort("127.0.0.1:99999", &host, &port).ok());
+}
+
+TEST(FrameTransportTest, DialRejectsMalformedEndpoints) {
+  EXPECT_FALSE(DialTcp("nonsense", 100).ok());
+  EXPECT_FALSE(DialTcp("not.an.ip.addr:80", 100).ok());
+}
+
+}  // namespace
+}  // namespace mpqopt

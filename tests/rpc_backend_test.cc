@@ -1,0 +1,333 @@
+// Copyright 2026 mpqopt authors.
+//
+// RPC-specific loopback tests: real mpqopt_worker subprocesses serve the
+// rounds, covering what the backend-parameterized conformance suite in
+// backend_test.cc cannot — worker crashes, unregistered tasks, scatter
+// behaviour, the heterogeneous wire contract, and the OptimizerService
+// running unchanged over remote workers.
+
+#include "cluster/rpc_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "catalog/generator.h"
+#include "cluster/task_registry.h"
+#include "common/serialize.h"
+#include "mpq/heterogeneous.h"
+#include "mpq/mpq.h"
+#include "service/optimizer_service.h"
+#include "tests/rpc_test_util.h"
+
+namespace mpqopt {
+namespace {
+
+Query MakeQuery(int n, uint64_t seed) {
+  GeneratorOptions opts;
+  opts.shape = JoinGraphShape::kStar;
+  QueryGenerator gen(opts, seed);
+  return gen.Generate(n);
+}
+
+std::shared_ptr<ExecutionBackend> ConnectFarm(const RpcWorkerFarm& farm,
+                                              NetworkModel model = {}) {
+  BackendOptions options;
+  options.network = model;
+  options.workers_addr = farm.workers_addr();
+  StatusOr<std::shared_ptr<ExecutionBackend>> backend =
+      MakeBackend(BackendKind::kRpc, options);
+  MPQOPT_CHECK(backend.ok());
+  return std::move(backend).value();
+}
+
+TEST(RpcBackendTest, SplitEndpoints) {
+  EXPECT_EQ(SplitEndpoints(""), std::vector<std::string>{});
+  EXPECT_EQ(SplitEndpoints("a:1"), std::vector<std::string>{"a:1"});
+  EXPECT_EQ(SplitEndpoints("a:1,b:2"),
+            (std::vector<std::string>{"a:1", "b:2"}));
+  EXPECT_EQ(SplitEndpoints("a:1,,b:2,"),
+            (std::vector<std::string>{"a:1", "b:2"}));
+}
+
+TEST(RpcBackendTest, ConnectFailsWhenNoWorkerListens) {
+  BackendOptions options;
+  options.workers_addr = "127.0.0.1:1";
+  options.connect_timeout_ms = 500;
+  StatusOr<std::shared_ptr<ExecutionBackend>> backend =
+      MakeBackend(BackendKind::kRpc, options);
+  ASSERT_FALSE(backend.ok());
+  EXPECT_NE(backend.status().message().find("127.0.0.1:1"),
+            std::string::npos);
+}
+
+TEST(RpcBackendTest, ConnectRequiresEndpoints) {
+  StatusOr<std::shared_ptr<ExecutionBackend>> backend =
+      MakeBackend(BackendKind::kRpc, BackendOptions{});
+  ASSERT_FALSE(backend.ok());
+  EXPECT_NE(backend.status().message().find("workers-addr"),
+            std::string::npos);
+}
+
+TEST(RpcBackendTest, RoundRobinWhenTasksExceedWorkers) {
+  RpcWorkerFarm farm;
+  farm.Start(2);
+  auto backend = ConnectFarm(farm);
+  // 7 tasks over 2 connections: every response must still land in its
+  // own slot, in task order.
+  std::vector<WorkerTask> tasks(7, WorkerTask(&EchoTaskMain));
+  std::vector<std::vector<uint8_t>> requests;
+  for (uint8_t i = 0; i < 7; ++i) {
+    requests.push_back({i, static_cast<uint8_t>(i + 100)});
+  }
+  StatusOr<RoundResult> round = backend->RunRound(tasks, requests);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round.value().responses, requests);
+}
+
+TEST(RpcBackendTest, ConnectionsPersistAcrossManyRounds) {
+  RpcWorkerFarm farm;
+  farm.Start(2);
+  auto backend = ConnectFarm(farm);
+  std::vector<WorkerTask> tasks(3, WorkerTask(&EchoTaskMain));
+  for (uint8_t r = 0; r < 50; ++r) {
+    std::vector<std::vector<uint8_t>> requests(3, std::vector<uint8_t>{r});
+    StatusOr<RoundResult> round = backend->RunRound(tasks, requests);
+    ASSERT_TRUE(round.ok()) << round.status().ToString();
+    EXPECT_EQ(round.value().responses, requests);
+  }
+}
+
+TEST(RpcBackendTest, UnregisteredTaskIsRejectedUpFront) {
+  RpcWorkerFarm farm;
+  farm.Start(1);
+  auto backend = ConnectFarm(farm);
+  const WorkerTask closure =
+      [](const std::vector<uint8_t>& request)
+      -> StatusOr<std::vector<uint8_t>> { return request; };
+  StatusOr<RoundResult> round = backend->RunRound({closure}, {{1}});
+  ASSERT_FALSE(round.ok());
+  EXPECT_EQ(round.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(round.status().message().find("registered"), std::string::npos);
+}
+
+TEST(RpcBackendTest, TaskErrorDoesNotPoisonTheConnection) {
+  RpcWorkerFarm farm;
+  farm.Start(1);
+  auto backend = ConnectFarm(farm);
+  const std::string message = "bad payload";
+  StatusOr<RoundResult> bad = backend->RunRound(
+      {WorkerTask(&FailTaskMain)},
+      {std::vector<uint8_t>(message.begin(), message.end())});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("bad payload"), std::string::npos);
+  // The worker stayed healthy; the next round must succeed.
+  StatusOr<RoundResult> good =
+      backend->RunRound({WorkerTask(&EchoTaskMain)}, {{9}});
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(good.value().responses[0], std::vector<uint8_t>{9});
+}
+
+TEST(RpcBackendTest, KilledWorkerBeforeRoundYieldsErrorNotHang) {
+  RpcWorkerFarm farm;
+  farm.Start(2);
+  auto backend = ConnectFarm(farm);
+  farm.Kill(0);
+  std::vector<WorkerTask> tasks(2, WorkerTask(&EchoTaskMain));
+  std::vector<std::vector<uint8_t>> requests = {{1}, {2}};
+  StatusOr<RoundResult> round = backend->RunRound(tasks, requests);
+  ASSERT_FALSE(round.ok());
+  EXPECT_NE(round.status().message().find("rpc worker"), std::string::npos);
+  // The dead connection stays dead: later rounds fail fast, they do not
+  // hang on a vanished peer.
+  StatusOr<RoundResult> again = backend->RunRound(tasks, requests);
+  EXPECT_FALSE(again.ok());
+}
+
+TEST(RpcBackendTest, KilledWorkerMidRoundYieldsErrorNotHang) {
+  RpcWorkerFarm farm;
+  farm.Start(1);
+  auto backend = ConnectFarm(farm);
+  // One task that would sleep 30 s remotely; the worker is SIGKILLed
+  // shortly after dispatch, so the round must come back with an error
+  // long before the sleep could finish.
+  ByteWriter writer;
+  writer.WriteU32(30'000);
+  std::vector<std::vector<uint8_t>> requests = {writer.Release()};
+  std::thread killer([&farm]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    farm.Kill(0);
+  });
+  const auto start = std::chrono::steady_clock::now();
+  StatusOr<RoundResult> round =
+      backend->RunRound({WorkerTask(&SleepEchoTaskMain)}, requests);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  killer.join();
+  ASSERT_FALSE(round.ok());
+  EXPECT_NE(round.status().message().find("disconnected"), std::string::npos);
+  EXPECT_LT(elapsed, 20.0);
+}
+
+TEST(RpcBackendTest, IoTimeoutBoundsAStuckReplyWait) {
+  RpcWorkerFarm farm;
+  farm.Start(1);
+  BackendOptions options;
+  options.workers_addr = farm.workers_addr();
+  options.io_timeout_ms = 200;
+  StatusOr<std::shared_ptr<ExecutionBackend>> backend =
+      MakeBackend(BackendKind::kRpc, options);
+  ASSERT_TRUE(backend.ok());
+  // The worker is healthy but the task outlives the reply deadline; the
+  // round must error out at ~the timeout, not after the full sleep.
+  ByteWriter writer;
+  writer.WriteU32(10'000);
+  const auto start = std::chrono::steady_clock::now();
+  StatusOr<RoundResult> round = backend.value()->RunRound(
+      {WorkerTask(&SleepEchoTaskMain)}, {writer.Release()});
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(round.ok());
+  EXPECT_NE(round.status().message().find("timed out"), std::string::npos);
+  EXPECT_LT(elapsed, 8.0);
+}
+
+TEST(RpcServiceTest, MisconfiguredRpcServiceReportsErrorInsteadOfAborting) {
+  ServiceOptions service_opts;
+  service_opts.backend_kind = BackendKind::kRpc;  // no workers_addr
+  OptimizerService service(service_opts);
+  ASSERT_FALSE(service.init_status().ok());
+  MpqOptions opts;
+  opts.num_workers = 2;
+  StatusOr<MpqResult> result = service.Optimize(MakeQuery(6, 1), opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.stats().queries_failed, 1u);
+}
+
+TEST(RpcServiceTest, ServiceBuildsRpcBackendFromWorkersAddr) {
+  RpcWorkerFarm farm;
+  farm.Start(2);
+  ServiceOptions service_opts;
+  service_opts.backend_kind = BackendKind::kRpc;
+  service_opts.workers_addr = farm.workers_addr();
+  OptimizerService service(service_opts);
+  ASSERT_TRUE(service.init_status().ok())
+      << service.init_status().ToString();
+  EXPECT_STREQ(service.backend().name(), "rpc");
+  MpqOptions opts;
+  opts.num_workers = 4;
+  StatusOr<MpqResult> result = service.Optimize(MakeQuery(7, 5), opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(RpcBackendTest, ConcurrentRoundsShareConnectionsSafely) {
+  RpcWorkerFarm farm;
+  farm.Start(2);
+  auto backend = ConnectFarm(farm);
+  constexpr int kSubmitters = 6;
+  constexpr int kRoundsEach = 15;
+  std::vector<std::thread> submitters;
+  std::vector<int> failures(kSubmitters, 0);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&backend, &failures, s]() {
+      for (int r = 0; r < kRoundsEach; ++r) {
+        std::vector<WorkerTask> tasks(4, WorkerTask(&EchoTaskMain));
+        std::vector<std::vector<uint8_t>> requests;
+        for (int t = 0; t < 4; ++t) {
+          requests.push_back({static_cast<uint8_t>(s),
+                              static_cast<uint8_t>(r),
+                              static_cast<uint8_t>(t)});
+        }
+        StatusOr<RoundResult> round = backend->RunRound(tasks, requests);
+        if (!round.ok() || round.value().responses != requests) {
+          ++failures[s];
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (int s = 0; s < kSubmitters; ++s) {
+    EXPECT_EQ(failures[s], 0) << "submitter " << s;
+  }
+}
+
+TEST(RpcBackendTest, HeteroWorkerWireContractOverRpc) {
+  RpcWorkerFarm farm;
+  farm.Start(2);
+  auto backend = ConnectFarm(farm);
+
+  const Query q = MakeQuery(8, 902);
+  MpqOptions opts;
+  opts.space = PlanSpace::kLinear;
+  opts.num_workers = 8;
+  const std::vector<PartitionShare> shares =
+      AssignPartitions({1.0, 3.0}, opts.num_workers);
+  ASSERT_EQ(shares.size(), 2u);
+
+  std::vector<std::vector<uint8_t>> requests;
+  std::vector<std::vector<uint8_t>> reference;
+  for (const PartitionShare& share : shares) {
+    requests.push_back(HeteroMpqOptimizer::BuildRequest(q, share, opts));
+    StatusOr<std::vector<uint8_t>> direct =
+        HeteroMpqOptimizer::WorkerMain(requests.back());
+    ASSERT_TRUE(direct.ok());
+    reference.push_back(std::move(direct).value());
+  }
+
+  std::vector<WorkerTask> tasks(shares.size(),
+                                WorkerTask(&HeteroMpqOptimizer::WorkerMain));
+  StatusOr<RoundResult> round = backend->RunRound(tasks, requests);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(round.value().responses[i].size(), reference[i].size());
+  }
+}
+
+TEST(RpcServiceTest, OptimizerServiceRunsUnchangedOverRpc) {
+  RpcWorkerFarm farm;
+  farm.Start(2);
+
+  ServiceOptions service_opts;
+  service_opts.backend = ConnectFarm(farm);
+  service_opts.dispatcher_threads = 3;
+  OptimizerService service(service_opts);
+  EXPECT_STREQ(service.backend().name(), "rpc");
+
+  MpqOptions opts;
+  opts.space = PlanSpace::kLinear;
+  opts.num_workers = 4;
+
+  std::vector<Query> queries;
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    queries.push_back(MakeQuery(7, 700 + seed));
+  }
+  const BatchReport report = service.OptimizeBatch(queries, opts);
+  ASSERT_EQ(report.results.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(report.results[i].ok())
+        << "query " << i << ": " << report.results[i].status().ToString();
+    // The plan served over real sockets must cost exactly what the
+    // default in-process run finds.
+    MpqOptimizer reference(opts);
+    StatusOr<MpqResult> direct = reference.Optimize(queries[i]);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_DOUBLE_EQ(
+        report.results[i]
+            .value()
+            .arena.node(report.results[i].value().best[0])
+            .cost.time(),
+        direct.value().arena.node(direct.value().best[0]).cost.time());
+    EXPECT_EQ(report.results[i].value().network_bytes,
+              direct.value().network_bytes);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries_completed, queries.size());
+  EXPECT_EQ(stats.queries_failed, 0u);
+}
+
+}  // namespace
+}  // namespace mpqopt

@@ -1,0 +1,124 @@
+// Copyright 2026 mpqopt authors.
+//
+// Self-hosting RPC test fixture support: spawns real mpqopt_worker server
+// subprocesses on loopback ephemeral ports, so the wire-contract suite
+// runs against genuinely remote workers. The worker binary path comes
+// from $MPQOPT_WORKER_BIN (set by CMake on the RPC-using tests) and falls
+// back to "./mpqopt_worker" — ctest runs tests from the build directory,
+// where the binary lives.
+
+#ifndef MPQOPT_TESTS_RPC_TEST_UTIL_H_
+#define MPQOPT_TESTS_RPC_TEST_UTIL_H_
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace mpqopt {
+
+inline const char* WorkerBinaryPath() {
+  const char* from_env = std::getenv("MPQOPT_WORKER_BIN");
+  return from_env != nullptr ? from_env : "./mpqopt_worker";
+}
+
+/// A pool of mpqopt_worker subprocesses listening on 127.0.0.1.
+class RpcWorkerFarm {
+ public:
+  RpcWorkerFarm() = default;
+  ~RpcWorkerFarm() { StopAll(); }
+  MPQOPT_DISALLOW_COPY_AND_ASSIGN(RpcWorkerFarm);
+
+  /// Spawns `n` workers and waits for each to report its listening port.
+  void Start(int n) {
+    for (int i = 0; i < n; ++i) SpawnOne();
+  }
+
+  /// "host:port,host:port" for --workers-addr / BackendOptions.
+  std::string workers_addr() const {
+    std::string joined;
+    for (const Worker& worker : workers_) {
+      if (!joined.empty()) joined += ",";
+      joined += worker.endpoint;
+    }
+    return joined;
+  }
+
+  std::vector<std::string> endpoints() const {
+    std::vector<std::string> result;
+    for (const Worker& worker : workers_) result.push_back(worker.endpoint);
+    return result;
+  }
+
+  size_t size() const { return workers_.size(); }
+
+  /// SIGKILLs worker `i` and reaps it — the "node crash" of the
+  /// fault-handling tests.
+  void Kill(size_t i) {
+    MPQOPT_CHECK_LT(i, workers_.size());
+    Worker& worker = workers_[i];
+    if (worker.pid <= 0) return;
+    ::kill(worker.pid, SIGKILL);
+    ::waitpid(worker.pid, nullptr, 0);
+    worker.pid = -1;
+  }
+
+  void StopAll() {
+    for (size_t i = 0; i < workers_.size(); ++i) Kill(i);
+    workers_.clear();
+  }
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    std::string endpoint;
+  };
+
+  void SpawnOne() {
+    int out_pipe[2];
+    MPQOPT_CHECK_EQ(::pipe(out_pipe), 0);
+    const pid_t pid = ::fork();
+    MPQOPT_CHECK_GE(pid, 0);
+    if (pid == 0) {
+      // Child: route stdout into the pipe and become the worker server.
+      ::close(out_pipe[0]);
+      ::dup2(out_pipe[1], STDOUT_FILENO);
+      ::close(out_pipe[1]);
+      ::execl(WorkerBinaryPath(), WorkerBinaryPath(),
+              "--listen=127.0.0.1:0", static_cast<char*>(nullptr));
+      std::fprintf(stderr, "exec %s failed: %s\n", WorkerBinaryPath(),
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    ::close(out_pipe[1]);
+    // Wait for "LISTENING <port>".
+    FILE* out = ::fdopen(out_pipe[0], "r");
+    MPQOPT_CHECK(out != nullptr);
+    int port = 0;
+    const int matched = std::fscanf(out, "LISTENING %d", &port);
+    std::fclose(out);  // the worker keeps running; only our pipe end closes
+    if (matched != 1 || port <= 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+      MPQOPT_CHECK(false && "mpqopt_worker did not report a listening port");
+    }
+    Worker worker;
+    worker.pid = pid;
+    worker.endpoint = "127.0.0.1:" + std::to_string(port);
+    workers_.push_back(worker);
+  }
+
+  std::vector<Worker> workers_;
+};
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_TESTS_RPC_TEST_UTIL_H_

@@ -11,11 +11,13 @@
 //   mpqopt_cli --tables=10 --variant=pqo --parametric-table=0
 //   mpqopt_cli --tables=10 --variant=io --space=bushy
 //   mpqopt_cli --tables=12 --workers=16 --backend=async --concurrent-queries=8
+//   mpqopt_cli --tables=12 --backend=rpc --workers-addr=127.0.0.1:7001
 //
 // Flags (all optional): --tables=N --shape=chain|star|cycle|clique
 // --space=linear|bushy --workers=M --seed=S --objective=time|mo
 // --alpha=A --variant=dp|io|pqo --parametric-table=T
-// --backend=thread|process|async --concurrent-queries=Q --processes
+// --backend=thread|process|async|rpc --workers-addr=H:P[,H:P...]
+// --concurrent-queries=Q --processes
 
 #include <cstdio>
 #include <cstring>
@@ -42,6 +44,7 @@ struct CliOptions {
   std::string variant = "dp";
   int parametric_table = 0;
   BackendKind backend = BackendKind::kThread;
+  std::string workers_addr;
   int concurrent_queries = 0;
 };
 
@@ -112,6 +115,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
         return false;
       }
       opts->backend = kind.value();
+    } else if (ParseFlag(argv[i], "--workers-addr", &v)) {
+      opts->workers_addr = v;
     } else if (ParseFlag(argv[i], "--concurrent-queries", &v)) {
       opts->concurrent_queries = std::atoi(v.c_str());
       if (opts->concurrent_queries < 1) {
@@ -163,6 +168,17 @@ MpqOptions BuildMpqOptions(const CliOptions& cli) {
   return opts;
 }
 
+/// Builds the selected execution backend; for --backend=rpc this connects
+/// to the --workers-addr endpoints and can fail.
+StatusOr<std::shared_ptr<ExecutionBackend>> BuildBackend(
+    const CliOptions& cli, const MpqOptions& opts) {
+  BackendOptions backend_opts;
+  backend_opts.network = opts.network;
+  backend_opts.max_threads = opts.max_threads;
+  backend_opts.workers_addr = cli.workers_addr;
+  return MakeBackend(cli.backend, backend_opts);
+}
+
 /// Serving mode: Q concurrently optimized queries multiplexed onto one
 /// shared backend through the OptimizerService.
 int RunService(QueryGenerator* generator, const CliOptions& cli) {
@@ -171,10 +187,16 @@ int RunService(QueryGenerator* generator, const CliOptions& cli) {
   for (int i = 0; i < cli.concurrent_queries; ++i) {
     queries.push_back(generator->Generate(cli.tables));
   }
-  ServiceOptions service_opts;
-  service_opts.backend_kind = cli.backend;
-  OptimizerService service(service_opts);
   const MpqOptions opts = BuildMpqOptions(cli);
+  StatusOr<std::shared_ptr<ExecutionBackend>> backend =
+      BuildBackend(cli, opts);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "error: %s\n", backend.status().ToString().c_str());
+    return 1;
+  }
+  ServiceOptions service_opts;
+  service_opts.backend = std::move(backend).value();
+  OptimizerService service(service_opts);
   const BatchReport report = service.OptimizeBatch(queries, opts);
 
   std::printf("service backend    %s\n", service.backend().name());
@@ -202,7 +224,13 @@ int RunService(QueryGenerator* generator, const CliOptions& cli) {
 
 int RunMpq(const Query& query, const CliOptions& cli) {
   MpqOptions opts = BuildMpqOptions(cli);
-  opts.backend = MakeBackend(cli.backend, opts.network, opts.max_threads);
+  StatusOr<std::shared_ptr<ExecutionBackend>> backend =
+      BuildBackend(cli, opts);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "error: %s\n", backend.status().ToString().c_str());
+    return 1;
+  }
+  opts.backend = std::move(backend).value();
   if (opts.interesting_orders && opts.objective != Objective::kTime) {
     std::fprintf(stderr, "interesting orders require --objective=time\n");
     return 1;
@@ -249,8 +277,11 @@ int Main(int argc, char** argv) {
         "          [--space=linear|bushy] [--workers=M] [--seed=S]\n"
         "          [--objective=time|mo] [--alpha=A]\n"
         "          [--variant=dp|io|pqo] [--parametric-table=T]\n"
-        "          [--backend=thread|process|async]\n"
-        "          [--concurrent-queries=Q]\n",
+        "          [--backend=thread|process|async|rpc]\n"
+        "          [--workers-addr=HOST:PORT[,HOST:PORT...]]\n"
+        "          [--concurrent-queries=Q]\n"
+        "--backend=rpc dispatches worker tasks to mpqopt_worker server\n"
+        "processes at the --workers-addr endpoints.\n",
         argv[0]);
     return 2;
   }

@@ -1,0 +1,72 @@
+// Copyright 2026 mpqopt authors.
+//
+// mpqopt_worker — the remote worker server behind --backend=rpc.
+//
+// Listens on a TCP endpoint and serves framed worker-task requests
+// (MpqOptimizer::WorkerMain, HeteroMpqOptimizer::WorkerMain, and the
+// diagnostic kinds; see cluster/task_registry.h). One serving thread per
+// master connection; connections are persistent and each carries a
+// sequential request/response stream.
+//
+//   mpqopt_worker --listen=127.0.0.1:7001
+//   mpqopt_worker --listen=0.0.0.0:0        # ephemeral port, printed below
+//
+// On startup the worker prints "LISTENING <port>" to stdout — the RPC
+// test fixtures and deployment scripts read the chosen port from there.
+// The process serves until killed.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cluster/rpc_backend.h"
+#include "net/frame_transport.h"
+
+namespace mpqopt {
+namespace {
+
+int Main(int argc, char** argv) {
+  std::string listen = "0.0.0.0:0";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--listen=", 9) == 0) {
+      listen = arg + 9;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::fprintf(stderr,
+                   "usage: %s [--listen=HOST:PORT]\n"
+                   "  HOST:PORT   bind address (default 0.0.0.0:0; port 0\n"
+                   "              picks an ephemeral port)\n"
+                   "Prints \"LISTENING <port>\" once ready, then serves\n"
+                   "mpqopt worker tasks until killed.\n",
+                   argv[0]);
+      return 2;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return 2;
+    }
+  }
+
+  std::string host;
+  int port = 0;
+  Status s = ParseHostPort(listen, &host, &port);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  StatusOr<TcpListener> listener = TcpListener::Bind(host, port);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "error: %s\n", listener.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("LISTENING %d\n", listener.value().port());
+  std::fflush(stdout);
+
+  s = ServeRpcWorker(&listener.value());
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+}  // namespace mpqopt
+
+int main(int argc, char** argv) { return mpqopt::Main(argc, argv); }
