@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/serialize.h"
@@ -42,7 +43,10 @@ struct TableInfo {
   double cardinality = 0;
   /// Domain sizes (number of distinct values) of the join attributes.
   std::vector<double> attribute_domains;
-  /// Display name, e.g. "R3". Not used by the optimizer.
+  /// Table name, e.g. "R3". Not used by the optimizer's cost math, but it
+  /// is the catalog identity that the plan cache's statistics-sensitive
+  /// invalidation keys on (see PlanCache::InvalidateWhere), so two
+  /// different catalog tables must not share a name.
   std::string name;
 };
 
@@ -72,6 +76,12 @@ class Query {
 
   /// The set {0, ..., n-1} of all table indices.
   TableSet all_tables() const { return TableSet::AllTables(num_tables()); }
+
+  /// Per-table (name, cardinality) pairs in table-index order — the
+  /// statistics identity a cached plan for this query depends on. The
+  /// plan cache records this per entry so that a changed cardinality can
+  /// evict exactly the dependent plans.
+  std::vector<std::pair<std::string, double>> TableStatistics() const;
 
   /// Validates internal consistency (indices in range, selectivities in
   /// (0, 1], cardinalities positive). Called after deserialization.

@@ -28,27 +28,49 @@ void ExecutionBackend::FinalizeRound(
       static_cast<double>(num_tasks) * model_.task_setup_s + slowest;
 }
 
+namespace {
+
+// The single source of truth for backend naming: BackendKindName,
+// ParseBackendKind (canonical name or alias), and BackendKindList are all
+// generated from this table, so adding a kind here updates the CLI
+// surface, help text, and error messages together.
+struct BackendNameEntry {
+  BackendKind kind;
+  const char* canonical;
+  const char* alias;  // accepted on parse, never printed
+};
+
+constexpr BackendNameEntry kBackendNames[] = {
+    {BackendKind::kThread, "thread", "threads"},
+    {BackendKind::kProcess, "process", "processes"},
+    {BackendKind::kAsyncBatch, "async", "async-batch"},
+    {BackendKind::kRpc, "rpc", "remote"},
+};
+
+}  // namespace
+
 const char* BackendKindName(BackendKind kind) {
-  switch (kind) {
-    case BackendKind::kThread:
-      return "thread";
-    case BackendKind::kProcess:
-      return "process";
-    case BackendKind::kAsyncBatch:
-      return "async";
-    case BackendKind::kRpc:
-      return "rpc";
+  for (const BackendNameEntry& entry : kBackendNames) {
+    if (entry.kind == kind) return entry.canonical;
   }
   return "unknown";
 }
 
 StatusOr<BackendKind> ParseBackendKind(const std::string& name) {
-  if (name == "thread" || name == "threads") return BackendKind::kThread;
-  if (name == "process" || name == "processes") return BackendKind::kProcess;
-  if (name == "async" || name == "async-batch") return BackendKind::kAsyncBatch;
-  if (name == "rpc" || name == "remote") return BackendKind::kRpc;
-  return Status::InvalidArgument("unknown backend '" + name +
-                                 "' (expected thread|process|async|rpc)");
+  for (const BackendNameEntry& entry : kBackendNames) {
+    if (name == entry.canonical || name == entry.alias) return entry.kind;
+  }
+  return Status::InvalidArgument("unknown backend '" + name + "' (expected " +
+                                 BackendKindList() + ")");
+}
+
+std::string BackendKindList() {
+  std::string joined;
+  for (const BackendNameEntry& entry : kBackendNames) {
+    if (!joined.empty()) joined += "|";
+    joined += entry.canonical;
+  }
+  return joined;
 }
 
 StatusOr<std::shared_ptr<ExecutionBackend>> MakeBackend(

@@ -112,7 +112,13 @@ enum class BackendKind : uint8_t {
 const char* BackendKindName(BackendKind kind);
 
 /// Parses a backend name as accepted by the CLI's --backend= flag.
+/// The error message enumerates every accepted kind.
 StatusOr<BackendKind> ParseBackendKind(const std::string& name);
+
+/// "thread|process|async|rpc" — the canonical names of every backend
+/// kind, for --help text and error messages. Generated from the same
+/// table as BackendKindName/ParseBackendKind, so it can never go stale.
+std::string BackendKindList();
 
 /// Everything MakeBackend can need; kinds ignore the fields that do not
 /// apply to them.

@@ -9,6 +9,12 @@
 // Encoding: little-endian fixed-width integers, IEEE-754 doubles, and
 // varint-style unsigned counts are deliberately avoided — fixed widths keep
 // the byte accounting easy to reason about in tests.
+//
+// Determinism contract: encoding the same value sequence always produces
+// byte-identical buffers, on every platform. The plan-cache fingerprints
+// (plancache/fingerprint.h) hash these bytes as the cache key, so any
+// nondeterminism here would silently break memoized serving;
+// tests/serialize_determinism_test.cc is the regression gate.
 
 #ifndef MPQOPT_COMMON_SERIALIZE_H_
 #define MPQOPT_COMMON_SERIALIZE_H_
@@ -26,6 +32,10 @@ namespace mpqopt {
 class ByteWriter {
  public:
   void WriteU8(uint8_t v) { buffer_.push_back(v); }
+
+  /// Canonical bool encoding: exactly 0 or 1, never other truthy bytes
+  /// (keeps fingerprints of logically equal values byte-identical).
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
 
   void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
 
@@ -65,6 +75,16 @@ class ByteReader {
       : ByteReader(buffer.data(), buffer.size()) {}
 
   Status ReadU8(uint8_t* out) { return ReadRaw(out, sizeof(*out)); }
+
+  Status ReadBool(bool* out) {
+    uint8_t v = 0;
+    Status s = ReadU8(&v);
+    if (!s.ok()) return s;
+    if (v > 1) return Status::Corruption("bool byte is neither 0 nor 1");
+    *out = v != 0;
+    return Status::OK();
+  }
+
   Status ReadU32(uint32_t* out) { return ReadRaw(out, sizeof(*out)); }
   Status ReadU64(uint64_t* out) { return ReadRaw(out, sizeof(*out)); }
   Status ReadI64(int64_t* out) { return ReadRaw(out, sizeof(*out)); }

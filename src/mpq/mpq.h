@@ -78,6 +78,11 @@ struct MpqResult {
   uint64_t network_bytes = 0;
   uint64_t network_messages = 0;
 
+  /// True when the plan was served from the OptimizerService plan cache:
+  /// no worker round ran, so the timing/traffic fields above are zero and
+  /// the per-worker vectors below are empty.
+  bool from_plan_cache = false;
+
   /// Per-worker detail, indexed by partition id.
   std::vector<double> worker_seconds;
   std::vector<int64_t> worker_memo_sets;

@@ -6,6 +6,9 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <utility>
+
+#include "plancache/fingerprint.h"
 
 namespace mpqopt {
 
@@ -27,6 +30,85 @@ OptimizerService::OptimizerService(ServiceOptions options)
     }
   }
   if (options_.dispatcher_threads < 1) options_.dispatcher_threads = 1;
+  if (options_.enable_plan_cache) {
+    PlanCacheOptions cache_opts;
+    cache_opts.capacity_bytes = options_.plan_cache_bytes;
+    cache_opts.ttl_seconds = options_.plan_cache_ttl_seconds;
+    cache_opts.num_shards = options_.plan_cache_shards;
+    cache_ = std::make_unique<PlanCache>(cache_opts);
+  }
+}
+
+StatusOr<MpqResult> OptimizerService::RunOptimizer(const Query& query,
+                                                   const MpqOptions& options) {
+  MpqOptions effective = options;
+  effective.backend = backend_;
+  MpqOptimizer optimizer(std::move(effective));
+  return optimizer.Optimize(query);
+}
+
+namespace {
+
+/// Materializes a served plan into the result shape Optimize returns;
+/// the arena copy happens on the caller's thread, outside any cache lock.
+MpqResult ResultFromCachedPlan(const CachedPlan& plan) {
+  MpqResult result;
+  result.arena = plan.arena;
+  result.best = plan.best;
+  result.from_plan_cache = true;
+  return result;
+}
+
+}  // namespace
+
+StatusOr<MpqResult> OptimizerService::OptimizeThroughCache(
+    const Query& query, const MpqOptions& options, bool* cache_hit) {
+  const PlanCacheKey key = FingerprintQuery(query, options);
+  // Fast path: warm hits never touch the single-flight table.
+  if (std::shared_ptr<const CachedPlan> hit = cache_->Lookup(key)) {
+    *cache_hit = true;
+    return ResultFromCachedPlan(*hit);
+  }
+  const std::string flight_key(key.bytes.begin(), key.bytes.end());
+  for (;;) {
+    std::shared_ptr<const CachedPlan> handed;
+    if (flights_.BeginOrWait(flight_key, &handed)) {
+      // Double-check under leadership: a previous leader may have
+      // populated the cache between our probe and winning the flight,
+      // in which case re-optimizing would break exactly-once. The miss
+      // was already counted by the fast-path probe above.
+      if (std::shared_ptr<const CachedPlan> hit =
+              cache_->Lookup(key, /*count_miss=*/false)) {
+        flights_.Done(flight_key, hit);
+        *cache_hit = true;
+        return ResultFromCachedPlan(*hit);
+      }
+      // Leader: this call runs the one real optimization for every
+      // concurrent request on this fingerprint. Waiters get the plan
+      // handed to them through the flight, so they are served even when
+      // it was too large for the byte budget to retain. The epoch is
+      // captured before optimizing: if statistics change mid-run, the
+      // entry is inserted already-stale instead of outliving the
+      // invalidation.
+      const uint64_t epoch = cache_->statistics_epoch();
+      StatusOr<MpqResult> result = RunOptimizer(query, options);
+      std::shared_ptr<const CachedPlan> plan;
+      if (result.ok()) {
+        plan = cache_->Insert(key, query.TableStatistics(),
+                              result.value().arena, result.value().best,
+                              epoch);
+      }
+      flights_.Done(flight_key, std::move(plan));
+      *cache_hit = false;
+      return result;
+    }
+    if (handed != nullptr) {
+      *cache_hit = true;
+      return ResultFromCachedPlan(*handed);
+    }
+    // The leader failed: loop to become the next leader and report the
+    // error (or a late success) from our own optimization run.
+  }
 }
 
 StatusOr<MpqResult> OptimizerService::Optimize(const Query& query,
@@ -37,10 +119,10 @@ StatusOr<MpqResult> OptimizerService::Optimize(const Query& query,
     return init_error_;
   }
   const auto start = std::chrono::steady_clock::now();
-  MpqOptions effective = options;
-  effective.backend = backend_;
-  MpqOptimizer optimizer(std::move(effective));
-  StatusOr<MpqResult> result = optimizer.Optimize(query);
+  bool cache_hit = false;
+  StatusOr<MpqResult> result =
+      cache_ != nullptr ? OptimizeThroughCache(query, options, &cache_hit)
+                        : RunOptimizer(query, options);
   const auto end = std::chrono::steady_clock::now();
   const double latency = std::chrono::duration<double>(end - start).count();
 
@@ -52,6 +134,16 @@ StatusOr<MpqResult> OptimizerService::Optimize(const Query& query,
     stats_.network_messages += result.value().network_messages;
   } else {
     ++stats_.queries_failed;
+  }
+  if (cache_ != nullptr) {
+    // Every cache-enabled query is a hit or an authoritative (leader)
+    // computation; a failed leader still counts as a miss — the
+    // optimizer genuinely ran.
+    if (cache_hit) {
+      ++stats_.cache_hits;
+    } else {
+      ++stats_.cache_misses;
+    }
   }
   stats_.total_latency_seconds += latency;
   return result;
@@ -108,8 +200,15 @@ BatchReport OptimizerService::OptimizeBatch(const std::vector<Query>& queries,
 }
 
 ServiceStats OptimizerService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  ServiceStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+  }
+  if (cache_ != nullptr) {
+    snapshot.cache_evictions = cache_->stats().evictions();
+  }
+  return snapshot;
 }
 
 }  // namespace mpqopt

@@ -10,6 +10,13 @@
 // a large query cannot starve small ones), and keeps per-query and
 // aggregate throughput statistics.
 //
+// With the plan cache enabled (ServiceOptions::enable_plan_cache), the
+// service fingerprints every query (plancache/fingerprint.h) and consults
+// a sharded LRU (plancache/plan_cache.h) before submitting any worker
+// round: a hit skips the whole scatter/gather round trip on every
+// backend, and concurrent misses on the same fingerprint are
+// single-flighted — one master optimizes, the rest wait and reuse.
+//
 // Thread safety: Optimize() may be called from any number of threads
 // concurrently. OptimizeBatch() is a convenience driver that runs a whole
 // batch through a bounded dispatcher pool and reports batch wall time,
@@ -20,10 +27,12 @@
 
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "cluster/backend.h"
 #include "mpq/mpq.h"
+#include "plancache/plan_cache.h"
 
 namespace mpqopt {
 
@@ -46,6 +55,15 @@ struct ServiceOptions {
   /// final prune). Optimize() callers bring their own threads and are
   /// not bounded by this.
   int dispatcher_threads = 4;
+  /// Memoized serving: fingerprint each query and serve repeats from the
+  /// plan cache instead of re-optimizing (CLI: --plan-cache).
+  bool enable_plan_cache = false;
+  /// Byte budget of the plan cache (CLI: --plan-cache-mb).
+  size_t plan_cache_bytes = size_t{64} << 20;
+  /// Cached-plan lifetime; <= 0 caches forever (CLI: --plan-cache-ttl).
+  double plan_cache_ttl_seconds = 0;
+  /// Lock shards of the plan cache (rounded up to a power of two).
+  int plan_cache_shards = 16;
 };
 
 /// Aggregate counters since service construction.
@@ -58,6 +76,15 @@ struct ServiceStats {
   double total_simulated_seconds = 0;
   uint64_t network_bytes = 0;
   uint64_t network_messages = 0;
+  /// Queries served from the plan cache (no worker round ran).
+  uint64_t cache_hits = 0;
+  /// Queries that ran a full optimization with the cache enabled. A
+  /// single-flight waiter counts toward hits, not misses — exactly one
+  /// miss is recorded per computed fingerprint.
+  uint64_t cache_misses = 0;
+  /// Entries evicted from the plan cache for any reason (capacity, TTL,
+  /// statistics invalidation).
+  uint64_t cache_evictions = 0;
 };
 
 /// Outcome of one OptimizeBatch call.
@@ -100,10 +127,26 @@ class OptimizerService {
     return backend_;
   }
 
+  /// The plan cache, or null when disabled. Callers invalidate through
+  /// it directly on catalog changes, e.g.
+  /// `service.plan_cache()->InvalidateTable("R3")` after a cardinality
+  /// refresh, or `BumpStatisticsEpoch()` after a bulk statistics reload.
+  PlanCache* plan_cache() const { return cache_.get(); }
+
  private:
+  /// One full (uncached) optimization on the shared backend.
+  StatusOr<MpqResult> RunOptimizer(const Query& query,
+                                   const MpqOptions& options);
+  /// Cache-aware path: probe, single-flight the miss, insert on success.
+  StatusOr<MpqResult> OptimizeThroughCache(const Query& query,
+                                           const MpqOptions& options,
+                                           bool* cache_hit);
+
   ServiceOptions options_;
   std::shared_ptr<ExecutionBackend> backend_;
   Status init_error_;
+  std::unique_ptr<PlanCache> cache_;
+  SingleFlight flights_;
 
   mutable std::mutex stats_mutex_;
   ServiceStats stats_;

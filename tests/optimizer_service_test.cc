@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "catalog/generator.h"
@@ -142,6 +143,72 @@ TEST(OptimizerServiceTest2, InvalidWorkerCountIsRejectedNotCrashed) {
 
   EXPECT_EQ(service.stats().queries_failed, 3u);
   EXPECT_EQ(service.stats().queries_completed, 0u);
+}
+
+TEST(OptimizerServiceTest2, StatsSnapshotIsConsistentUnderConcurrency) {
+  // stats() must return an internally consistent snapshot while serving
+  // threads are mutating the counters: completed + failed never exceeds
+  // the number of queries issued so far, and with the plan cache on,
+  // hits + misses always equals completed + failed at quiescence.
+  const std::vector<Query> queries = MakeQueries(4, 8, 7004);
+  MpqOptions opts;
+  opts.space = PlanSpace::kLinear;
+  opts.num_workers = 8;
+
+  ServiceOptions service_opts;
+  service_opts.backend_kind = BackendKind::kAsyncBatch;
+  service_opts.backend_threads = 2;
+  service_opts.enable_plan_cache = true;
+  OptimizerService service(service_opts);
+
+  std::atomic<bool> done{false};
+  std::thread snapshotter([&]() {
+    while (!done.load(std::memory_order_acquire)) {
+      const ServiceStats snap = service.stats();
+      EXPECT_LE(snap.cache_hits + snap.cache_misses,
+                snap.queries_completed + snap.queries_failed);
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kRounds = 3;
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&, t]() {
+      for (int round = 0; round < kRounds; ++round) {
+        EXPECT_TRUE(
+            service.Optimize(queries[static_cast<size_t>(t)], opts).ok());
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  done.store(true, std::memory_order_release);
+  snapshotter.join();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries_completed, 4u * kRounds);
+  EXPECT_EQ(stats.queries_failed, 0u);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.queries_completed);
+  // Four distinct fingerprints, each single-flighted to one miss.
+  EXPECT_EQ(stats.cache_misses, 4u);
+  EXPECT_EQ(stats.cache_evictions, 0u);
+}
+
+TEST(OptimizerServiceTest2, CacheCountersStayZeroWhenDisabled) {
+  const std::vector<Query> queries = MakeQueries(1, 8, 7005);
+  MpqOptions opts;
+  opts.num_workers = 4;
+  ServiceOptions service_opts;
+  service_opts.backend_threads = 1;
+  OptimizerService service(service_opts);
+  EXPECT_EQ(service.plan_cache(), nullptr);
+  ASSERT_TRUE(service.Optimize(queries[0], opts).ok());
+  ASSERT_TRUE(service.Optimize(queries[0], opts).ok());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u);
+  EXPECT_EQ(stats.cache_evictions, 0u);
+  EXPECT_EQ(stats.queries_completed, 2u);
 }
 
 TEST(OptimizerServiceTest2, EmptyBatch) {

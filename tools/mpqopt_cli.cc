@@ -12,13 +12,15 @@
 //   mpqopt_cli --tables=10 --variant=io --space=bushy
 //   mpqopt_cli --tables=12 --workers=16 --backend=async --concurrent-queries=8
 //   mpqopt_cli --tables=12 --backend=rpc --workers-addr=127.0.0.1:7001
+//   mpqopt_cli --tables=12 --concurrent-queries=32 --unique-queries=4
+//       --plan-cache --plan-cache-mb=16   (one line)
 //
-// Flags (all optional): --tables=N --shape=chain|star|cycle|clique
-// --space=linear|bushy --workers=M --seed=S --objective=time|mo
-// --alpha=A --variant=dp|io|pqo --parametric-table=T
-// --backend=thread|process|async|rpc --workers-addr=H:P[,H:P...]
-// --concurrent-queries=Q --processes
+// The usage text is generated from kFlagDocs below — new flags document
+// themselves by adding a row, and the accepted --backend= values come
+// from the backend name table (BackendKindList), so --help can never
+// drift from the real option surface.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -46,7 +48,74 @@ struct CliOptions {
   BackendKind backend = BackendKind::kThread;
   std::string workers_addr;
   int concurrent_queries = 0;
+  int unique_queries = 0;  // 0 = every query distinct
+  bool plan_cache = false;
+  int plan_cache_mb = 64;
+  double plan_cache_ttl = 0;
+  /// True once any serving-only flag (--plan-cache*, --unique-queries)
+  /// was given, so Main can reject them outside serving mode instead of
+  /// silently ignoring them.
+  bool serving_flags_used = false;
+  bool help = false;
 };
+
+/// One row of the option surface: flag name, value placeholder shown in
+/// --help (null for valueless flags), and help text. This table is the
+/// single authority for the usage message.
+struct FlagDoc {
+  const char* name;
+  const char* value;  // placeholder, or nullptr for boolean flags
+  const char* help;
+};
+
+const FlagDoc kFlagDocs[] = {
+    {"--tables", "N", "number of tables joined by each query"},
+    {"--shape", "chain|star|cycle|clique", "join graph shape"},
+    {"--space", "linear|bushy", "plan space"},
+    {"--workers", "M", "plan-space partitions (power of two)"},
+    {"--seed", "S", "workload generator seed"},
+    {"--objective", "time|mo", "single- or multi-objective optimization"},
+    {"--alpha", "A", "multi-objective approximation factor"},
+    {"--variant", "dp|io|pqo", "optimizer variant"},
+    {"--parametric-table", "T", "parametric table for --variant=pqo"},
+    {"--backend", nullptr /* filled from BackendKindList() */,
+     "worker-execution runtime"},
+    {"--workers-addr", "HOST:PORT[,HOST:PORT...]",
+     "rpc worker endpoints (required for --backend=rpc)"},
+    {"--concurrent-queries", "Q",
+     "serving mode: optimize Q queries concurrently via OptimizerService"},
+    {"--unique-queries", "U",
+     "serving mode: draw the Q queries from U distinct shapes "
+     "(repeated-workload axis; 0 = all distinct)"},
+    {"--plan-cache", nullptr,
+     "serving mode: memoize plans by query fingerprint"},
+    {"--plan-cache-mb", "MB", "plan cache byte budget (default 64)"},
+    {"--plan-cache-ttl", "SECONDS",
+     "plan cache entry lifetime (0 = never expires)"},
+    {"--processes", nullptr, "alias for --backend=process"},
+    {"--help", nullptr, "print this message"},
+};
+
+void PrintUsage(FILE* out, const char* argv0) {
+  std::fprintf(out, "usage: %s [flags]\n", argv0);
+  const std::string backends = BackendKindList();
+  for (const FlagDoc& doc : kFlagDocs) {
+    const char* value =
+        doc.value != nullptr
+            ? doc.value
+            : (std::strcmp(doc.name, "--backend") == 0 ? backends.c_str()
+                                                       : nullptr);
+    std::string flag = doc.name;
+    if (value != nullptr) {
+      flag += "=";
+      flag += value;
+    }
+    std::fprintf(out, "  %-42s %s\n", flag.c_str(), doc.help);
+  }
+  std::fprintf(out,
+               "--backend=rpc dispatches worker tasks to mpqopt_worker "
+               "server\nprocesses at the --workers-addr endpoints.\n");
+}
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
   const size_t len = std::strlen(name);
@@ -123,11 +192,32 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
         std::fprintf(stderr, "--concurrent-queries must be >= 1\n");
         return false;
       }
+    } else if (ParseFlag(argv[i], "--unique-queries", &v)) {
+      opts->unique_queries = std::atoi(v.c_str());
+      opts->serving_flags_used = true;
+      if (opts->unique_queries < 0) {
+        std::fprintf(stderr, "--unique-queries must be >= 0\n");
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--plan-cache-mb", &v)) {
+      opts->plan_cache_mb = std::atoi(v.c_str());
+      opts->serving_flags_used = true;
+      if (opts->plan_cache_mb < 1) {
+        std::fprintf(stderr, "--plan-cache-mb must be >= 1\n");
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--plan-cache-ttl", &v)) {
+      opts->plan_cache_ttl = std::atof(v.c_str());
+      opts->serving_flags_used = true;
+    } else if (ParseFlag(argv[i], "--plan-cache", &v)) {
+      opts->plan_cache = true;
+      opts->serving_flags_used = true;
     } else if (ParseFlag(argv[i], "--processes", &v)) {
       // Back-compat alias for --backend=process.
       opts->backend = BackendKind::kProcess;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      return false;
+      opts->help = true;
+      return true;  // help wins over everything else on the line
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -180,12 +270,23 @@ StatusOr<std::shared_ptr<ExecutionBackend>> BuildBackend(
 }
 
 /// Serving mode: Q concurrently optimized queries multiplexed onto one
-/// shared backend through the OptimizerService.
+/// shared backend through the OptimizerService. With --unique-queries=U,
+/// the Q queries cycle through U distinct shapes — the repeated-workload
+/// axis the plan cache (--plan-cache) serves from memory.
 int RunService(QueryGenerator* generator, const CliOptions& cli) {
+  const int unique =
+      cli.unique_queries > 0
+          ? std::min(cli.unique_queries, cli.concurrent_queries)
+          : cli.concurrent_queries;
+  std::vector<Query> distinct;
+  distinct.reserve(static_cast<size_t>(unique));
+  for (int i = 0; i < unique; ++i) {
+    distinct.push_back(generator->Generate(cli.tables));
+  }
   std::vector<Query> queries;
   queries.reserve(static_cast<size_t>(cli.concurrent_queries));
   for (int i = 0; i < cli.concurrent_queries; ++i) {
-    queries.push_back(generator->Generate(cli.tables));
+    queries.push_back(distinct[static_cast<size_t>(i) % distinct.size()]);
   }
   const MpqOptions opts = BuildMpqOptions(cli);
   StatusOr<std::shared_ptr<ExecutionBackend>> backend =
@@ -196,6 +297,10 @@ int RunService(QueryGenerator* generator, const CliOptions& cli) {
   }
   ServiceOptions service_opts;
   service_opts.backend = std::move(backend).value();
+  service_opts.enable_plan_cache = cli.plan_cache;
+  service_opts.plan_cache_bytes =
+      static_cast<size_t>(cli.plan_cache_mb) << 20;
+  service_opts.plan_cache_ttl_seconds = cli.plan_cache_ttl;
   OptimizerService service(service_opts);
   const BatchReport report = service.OptimizeBatch(queries, opts);
 
@@ -208,9 +313,10 @@ int RunService(QueryGenerator* generator, const CliOptions& cli) {
       continue;
     }
     std::printf(
-        "query %-3zu          cost %.6g, cluster %.2f ms, latency %.2f ms\n",
+        "query %-3zu          cost %.6g, cluster %.2f ms, latency %.2f ms%s\n",
         i, r.value().arena.node(r.value().best[0]).cost.time(),
-        r.value().simulated_seconds * 1e3, report.latency_seconds[i] * 1e3);
+        r.value().simulated_seconds * 1e3, report.latency_seconds[i] * 1e3,
+        r.value().from_plan_cache ? " (cached)" : "");
   }
   std::printf("batch wall         %.2f ms\n", report.wall_seconds * 1e3);
   std::printf("throughput         %.1f queries/s\n",
@@ -219,6 +325,12 @@ int RunService(QueryGenerator* generator, const CliOptions& cli) {
   std::printf("completed/failed   %llu / %llu\n",
               static_cast<unsigned long long>(stats.queries_completed),
               static_cast<unsigned long long>(stats.queries_failed));
+  if (cli.plan_cache) {
+    std::printf("plan cache         %llu hits / %llu misses / %llu evictions\n",
+                static_cast<unsigned long long>(stats.cache_hits),
+                static_cast<unsigned long long>(stats.cache_misses),
+                static_cast<unsigned long long>(stats.cache_evictions));
+  }
   return stats.queries_failed == 0 ? 0 : 1;
 }
 
@@ -271,19 +383,12 @@ int RunMpq(const Query& query, const CliOptions& cli) {
 int Main(int argc, char** argv) {
   CliOptions cli;
   if (!ParseArgs(argc, argv, &cli)) {
-    std::fprintf(
-        stderr,
-        "usage: %s [--tables=N] [--shape=chain|star|cycle|clique]\n"
-        "          [--space=linear|bushy] [--workers=M] [--seed=S]\n"
-        "          [--objective=time|mo] [--alpha=A]\n"
-        "          [--variant=dp|io|pqo] [--parametric-table=T]\n"
-        "          [--backend=thread|process|async|rpc]\n"
-        "          [--workers-addr=HOST:PORT[,HOST:PORT...]]\n"
-        "          [--concurrent-queries=Q]\n"
-        "--backend=rpc dispatches worker tasks to mpqopt_worker server\n"
-        "processes at the --workers-addr endpoints.\n",
-        argv[0]);
+    PrintUsage(stderr, argv[0]);
     return 2;
+  }
+  if (cli.help) {
+    PrintUsage(stdout, argv[0]);
+    return 0;
   }
   // Reject unusable worker counts up front instead of silently rounding:
   // MPQ requires a power of two not exceeding the maximal parallelism of
@@ -300,7 +405,18 @@ int Main(int argc, char** argv) {
   GeneratorOptions gen_opts;
   gen_opts.shape = cli.shape;
   QueryGenerator generator(gen_opts, cli.seed);
-  if (cli.concurrent_queries > 0 && cli.variant != "pqo") {
+  const bool serving_mode =
+      cli.concurrent_queries > 0 && cli.variant != "pqo";
+  if (cli.serving_flags_used && !serving_mode) {
+    // Reject rather than silently ignore: a user benchmarking the plan
+    // cache must not believe it was active when it never existed.
+    std::fprintf(stderr,
+                 "error: --plan-cache/--plan-cache-mb/--plan-cache-ttl/"
+                 "--unique-queries require serving mode "
+                 "(--concurrent-queries>=1, not --variant=pqo)\n");
+    return 2;
+  }
+  if (serving_mode) {
     return RunService(&generator, cli);
   }
   const Query query = generator.Generate(cli.tables);
