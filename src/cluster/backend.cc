@@ -49,6 +49,18 @@ constexpr BackendNameEntry kBackendNames[] = {
 
 }  // namespace
 
+const char* WorkerHealthName(WorkerHealth health) {
+  switch (health) {
+    case WorkerHealth::kHealthy:
+      return "healthy";
+    case WorkerHealth::kSuspect:
+      return "suspect";
+    case WorkerHealth::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
 const char* BackendKindName(BackendKind kind) {
   for (const BackendNameEntry& entry : kBackendNames) {
     if (entry.kind == kind) return entry.canonical;
@@ -95,9 +107,14 @@ StatusOr<std::shared_ptr<ExecutionBackend>> MakeBackend(
             "rpc backend requires worker endpoints "
             "(--workers-addr=host:port[,host:port...])");
       }
-      StatusOr<std::shared_ptr<RpcBackend>> backend = RpcBackend::Connect(
-          options.network, endpoints, options.connect_timeout_ms,
-          options.io_timeout_ms);
+      SupervisorOptions supervision;
+      supervision.connect_timeout_ms = options.connect_timeout_ms;
+      supervision.io_timeout_ms = options.io_timeout_ms;
+      supervision.max_redials = options.worker_retries;
+      supervision.backoff_initial_ms = options.worker_backoff_ms;
+      supervision.backoff_max_ms = options.worker_backoff_max_ms;
+      StatusOr<std::shared_ptr<RpcBackend>> backend =
+          RpcBackend::Connect(options.network, endpoints, supervision);
       if (!backend.ok()) return backend.status();
       return std::shared_ptr<ExecutionBackend>(std::move(backend).value());
     }

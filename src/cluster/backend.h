@@ -67,6 +67,58 @@ struct RoundResult {
   TrafficStats traffic;
 };
 
+/// Health of one supervised remote worker (cluster/supervisor/). The
+/// state machine is driven by I/O outcomes: an exchange failure moves a
+/// worker HEALTHY -> SUSPECT, a successful redial (verified by a ping
+/// frame) moves it back, and exhausting the redial budget of one failure
+/// episode moves it SUSPECT -> DEAD permanently.
+enum class WorkerHealth : uint8_t {
+  kHealthy = 0,  ///< serving; exchanges go to it
+  kSuspect = 1,  ///< last exchange failed; redial pending (with backoff)
+  kDead = 2,     ///< redial budget exhausted; never dialed again
+};
+
+/// "healthy" / "suspect" / "dead".
+const char* WorkerHealthName(WorkerHealth health);
+
+/// Point-in-time view of one supervised worker.
+struct WorkerHealthSnapshot {
+  std::string endpoint;
+  WorkerHealth health = WorkerHealth::kHealthy;
+  /// Successful redials (connection re-established and ping-verified).
+  uint64_t reconnects = 0;
+  /// Redial attempts that failed (dial or ping).
+  uint64_t redial_failures = 0;
+  /// Request/response exchanges that failed at the connection level.
+  uint64_t io_failures = 0;
+  /// Most recent connection-level failure, empty if none.
+  std::string last_error;
+};
+
+/// Supervision counters of a backend. In-process backends have no remote
+/// workers and report the default (all-empty) value; RpcBackend reports
+/// its supervisor's live state.
+struct BackendHealth {
+  /// One entry per remote worker endpoint; empty for in-process kinds.
+  std::vector<WorkerHealthSnapshot> workers;
+  /// Redials attempted / succeeded across all workers.
+  uint64_t reconnect_attempts = 0;
+  uint64_t reconnects = 0;
+  /// Tasks that failed on one worker and were re-scattered to another
+  /// attempt (possibly the same worker after a reconnect).
+  uint64_t tasks_rescattered = 0;
+  /// Rounds that needed at least one re-scatter pass to complete.
+  uint64_t rounds_recovered = 0;
+
+  size_t CountWorkers(WorkerHealth health) const {
+    size_t n = 0;
+    for (const WorkerHealthSnapshot& w : workers) {
+      if (w.health == health) ++n;
+    }
+    return n;
+  }
+};
+
 /// Executes rounds of independent worker tasks.
 class ExecutionBackend {
  public:
@@ -82,6 +134,11 @@ class ExecutionBackend {
   /// Short human-readable backend name ("thread", "process", "async",
   /// "rpc").
   virtual const char* name() const = 0;
+
+  /// Supervision snapshot: per-worker health and reconnect/re-scatter
+  /// counters. In-process backends have nothing to supervise and return
+  /// the empty default.
+  virtual BackendHealth health() const { return {}; }
 
   const NetworkModel& network() const { return model_; }
 
@@ -136,6 +193,16 @@ struct BackendOptions {
   /// Bound on each rpc reply wait; -1 waits indefinitely (worker compute
   /// time is unbounded in general — see cluster/rpc_backend.h).
   int io_timeout_ms = -1;
+  /// Redial budget per worker failure episode (rpc): how many reconnect
+  /// attempts a SUSPECT worker gets before it is marked DEAD. 0 marks a
+  /// failed worker DEAD on first failure (its tasks still re-scatter to
+  /// survivors). CLI: --worker-retries.
+  int worker_retries = 2;
+  /// Initial redial backoff (rpc); doubles per failed redial up to
+  /// `worker_backoff_max_ms`. CLI: --worker-backoff-ms.
+  int worker_backoff_ms = 50;
+  /// Cap on the exponential redial backoff (rpc).
+  int worker_backoff_max_ms = 2000;
 };
 
 /// Creates a backend of `kind`. Fails with a descriptive Status when the

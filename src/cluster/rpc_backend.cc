@@ -2,115 +2,35 @@
 
 #include "cluster/rpc_backend.h"
 
+#include <algorithm>
 #include <chrono>
-#include <cstring>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <numeric>
 #include <thread>
 
 #include "cluster/task_registry.h"
 
 namespace mpqopt {
-namespace {
-
-constexpr size_t kReplyHeaderBytes = sizeof(double);  // compute seconds
-
-// The f64 compute-seconds header crosses the wire as its IEEE-754 bit
-// pattern in little-endian byte order, like the frame length prefix —
-// independent of either peer's host endianness.
-std::vector<uint8_t> BuildReplyPayload(double compute_seconds,
-                                       const uint8_t* body, size_t size) {
-  std::vector<uint8_t> payload(kReplyHeaderBytes + size);
-  uint64_t bits = 0;
-  std::memcpy(&bits, &compute_seconds, sizeof(bits));
-  for (size_t i = 0; i < sizeof(bits); ++i) {
-    payload[i] = static_cast<uint8_t>(bits >> (8 * i));
-  }
-  if (size > 0) std::memcpy(payload.data() + kReplyHeaderBytes, body, size);
-  return payload;
-}
-
-double DecodeReplySeconds(const std::vector<uint8_t>& payload) {
-  uint64_t bits = 0;
-  for (size_t i = 0; i < sizeof(bits); ++i) {
-    bits |= static_cast<uint64_t>(payload[i]) << (8 * i);
-  }
-  double seconds = 0;
-  std::memcpy(&seconds, &bits, sizeof(seconds));
-  return seconds;
-}
-
-}  // namespace
 
 StatusOr<std::shared_ptr<RpcBackend>> RpcBackend::Connect(
     NetworkModel model, const std::vector<std::string>& endpoints,
-    int connect_timeout_ms, int io_timeout_ms) {
-  if (endpoints.empty()) {
-    return Status::InvalidArgument(
-        "rpc backend needs at least one worker endpoint");
-  }
-  std::vector<std::unique_ptr<Connection>> connections;
-  connections.reserve(endpoints.size());
-  for (const std::string& endpoint : endpoints) {
-    StatusOr<Socket> socket = DialTcp(endpoint, connect_timeout_ms);
-    if (!socket.ok()) {
-      return Status::Internal("cannot connect to rpc worker " + endpoint +
-                              ": " + socket.status().ToString());
-    }
-    auto connection = std::make_unique<Connection>();
-    connection->endpoint = endpoint;
-    connection->socket = std::move(socket).value();
-    connections.push_back(std::move(connection));
-  }
+    SupervisorOptions supervision) {
+  StatusOr<std::unique_ptr<WorkerSupervisor>> supervisor =
+      WorkerSupervisor::Connect(endpoints, supervision);
+  if (!supervisor.ok()) return supervisor.status();
   return std::shared_ptr<RpcBackend>(
-      new RpcBackend(model, std::move(connections), io_timeout_ms));
+      new RpcBackend(model, std::move(supervisor).value()));
 }
 
-Status RpcBackend::CallWorker(Connection* connection, uint8_t task_kind,
-                              const std::vector<uint8_t>& request,
-                              std::vector<uint8_t>* response,
-                              double* compute_seconds) {
-  std::lock_guard<std::mutex> lock(connection->mutex);
-  if (connection->dead) {
-    return Status::Internal("rpc worker " + connection->endpoint +
-                            " is disconnected");
-  }
-  Status s = SendFrame(connection->socket.fd(), task_kind, request);
-  if (!s.ok()) {
-    connection->dead = true;
-    return Status::Internal("rpc worker " + connection->endpoint +
-                            ": request send failed: " + s.ToString());
-  }
-  Frame reply;
-  s = RecvFrame(connection->socket.fd(), &reply, io_timeout_ms_);
-  if (!s.ok()) {
-    connection->dead = true;
-    return Status::Internal("rpc worker " + connection->endpoint +
-                            " disconnected or timed out mid-round: " +
-                            s.ToString());
-  }
-  if (reply.payload.size() < kReplyHeaderBytes) {
-    connection->dead = true;
-    return Status::Corruption("rpc worker " + connection->endpoint +
-                              " sent a truncated reply header");
-  }
-  const double seconds = DecodeReplySeconds(reply.payload);
-  if (reply.kind == static_cast<uint8_t>(RpcReplyKind::kTaskError)) {
-    // The task itself failed on a healthy worker; the connection stays
-    // usable for later rounds, matching the in-process backends.
-    return Status::Internal(
-        "rpc worker " + connection->endpoint + " task failed: " +
-        std::string(reply.payload.begin() + kReplyHeaderBytes,
-                    reply.payload.end()));
-  }
-  if (reply.kind != static_cast<uint8_t>(RpcReplyKind::kOk)) {
-    connection->dead = true;
-    return Status::Corruption("rpc worker " + connection->endpoint +
-                              " sent an unknown reply kind " +
-                              std::to_string(reply.kind));
-  }
-  *compute_seconds = seconds;
-  response->assign(reply.payload.begin() + kReplyHeaderBytes,
-                   reply.payload.end());
-  return Status::OK();
+BackendHealth RpcBackend::health() const {
+  BackendHealth health = supervisor_->Snapshot();
+  health.tasks_rescattered =
+      tasks_rescattered_.load(std::memory_order_relaxed);
+  health.rounds_recovered = rounds_recovered_.load(std::memory_order_relaxed);
+  return health;
 }
 
 StatusOr<RoundResult> RpcBackend::RunRound(
@@ -145,47 +65,114 @@ StatusOr<RoundResult> RpcBackend::RunRound(
     kinds[i] = static_cast<uint8_t>(kind);
   }
 
+  // Round-level recovery loop: scatter the pending tasks over the usable
+  // workers; connection-level failures leave their tasks pending and the
+  // next pass re-scatters them over whoever is usable then (the
+  // supervisor redials SUSPECT workers under its backoff). A clean
+  // task-error reply is deterministic and fails the round immediately. A
+  // pathological worker that keeps accepting and dying cannot livelock
+  // the round: the number of scatter passes is bounded by the pool's
+  // total redial budget plus slack.
+  const size_t num_workers = supervisor_->num_workers();
+  const size_t max_passes =
+      2 + (static_cast<size_t>(
+               std::max(supervisor_->options().max_redials, 0)) +
+           1) *
+              num_workers;
+  std::vector<char> done(num_tasks, 0);
+  std::vector<size_t> pending(num_tasks);
+  std::iota(pending.begin(), pending.end(), size_t{0});
   std::mutex error_mutex;
-  Status first_error = Status::OK();
-  const size_t num_connections = connections_.size();
-  // Task i goes to connection (base + i) % C; lane j walks its tasks in
-  // order, so one connection never sees interleaved frames from the same
-  // round. The per-round rotating base spreads concurrent small rounds
-  // (tasks < connections) across the whole pool instead of serializing
-  // them all behind connection 0.
-  const size_t base =
-      round_offset_.fetch_add(1, std::memory_order_relaxed) %
-      num_connections;
-  const auto run_lane = [&](size_t lane) {
-    Connection* connection =
-        connections_[(base + lane) % num_connections].get();
-    for (size_t i = lane; i < num_tasks; i += num_connections) {
-      Status s = CallWorker(connection, kinds[i], requests[i],
-                            &result.responses[i], &result.compute_seconds[i]);
-      if (!s.ok()) {
-        std::lock_guard<std::mutex> error_lock(error_mutex);
-        if (first_error.ok()) first_error = s;
-        return;
-      }
-    }
-  };
+  Status task_error = Status::OK();
+  Status last_worker_error = Status::OK();
+  size_t passes = 0;
+  bool recovered = false;
 
   const auto round_start = std::chrono::steady_clock::now();
-  const size_t lanes = std::min(num_connections, num_tasks);
-  if (lanes <= 1) {
-    if (lanes == 1) run_lane(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(lanes);
-    for (size_t lane = 0; lane < lanes; ++lane) {
-      pool.emplace_back(run_lane, lane);
+  while (!pending.empty()) {
+    const std::vector<size_t> usable = supervisor_->UsableWorkers();
+    if (usable.empty()) {
+      const int delay = supervisor_->NextRedialDelayMs();
+      if (delay < 0) {
+        return Status::Internal(
+            "rpc round failed: all " + std::to_string(num_workers) +
+            " workers are dead" +
+            (last_worker_error.ok()
+                 ? std::string()
+                 : "; last failure: " + last_worker_error.ToString()));
+      }
+      // Every worker is SUSPECT and inside its backoff window; wait for
+      // the earliest redial slot. Bounded: redial budgets are finite, so
+      // workers either come back or go DEAD.
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      continue;
     }
-    for (std::thread& t : pool) t.join();
+    if (++passes > max_passes) {
+      return Status::Internal(
+          "rpc round did not complete after " + std::to_string(max_passes) +
+          " re-scatter passes" +
+          (last_worker_error.ok()
+               ? std::string()
+               : "; last failure: " + last_worker_error.ToString()));
+    }
+    if (passes > 1) {
+      recovered = true;
+      tasks_rescattered_.fetch_add(pending.size(), std::memory_order_relaxed);
+    }
+
+    // Lane j walks pending tasks j, j+lanes, ... in order on one worker,
+    // so a connection never sees interleaved frames from the same round.
+    // The per-round rotating base spreads concurrent small rounds across
+    // the whole pool instead of serializing them all behind worker 0.
+    const size_t lanes = std::min(usable.size(), pending.size());
+    const size_t base =
+        round_offset_.fetch_add(1, std::memory_order_relaxed) %
+        usable.size();
+    const auto run_lane = [&](size_t lane) {
+      const size_t w = usable[(base + lane) % usable.size()];
+      for (size_t p = lane; p < pending.size(); p += lanes) {
+        const size_t i = pending[p];
+        bool worker_failed = false;
+        Status s = supervisor_->Exchange(w, kinds[i], requests[i],
+                                         &result.responses[i],
+                                         &result.compute_seconds[i],
+                                         &worker_failed);
+        if (s.ok()) {
+          done[i] = 1;
+          continue;
+        }
+        std::lock_guard<std::mutex> error_lock(error_mutex);
+        if (worker_failed) {
+          last_worker_error = s;
+        } else if (task_error.ok()) {
+          task_error = s;
+        }
+        return;  // this lane's worker failed, or the round is doomed
+      }
+    };
+
+    if (lanes <= 1) {
+      run_lane(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(lanes);
+      for (size_t lane = 0; lane < lanes; ++lane) {
+        pool.emplace_back(run_lane, lane);
+      }
+      for (std::thread& t : pool) t.join();
+    }
+    if (!task_error.ok()) return task_error;
+
+    std::vector<size_t> still_pending;
+    for (size_t i : pending) {
+      if (!done[i]) still_pending.push_back(i);
+    }
+    pending = std::move(still_pending);
   }
   const auto round_end = std::chrono::steady_clock::now();
   result.wall_seconds =
       std::chrono::duration<double>(round_end - round_start).count();
-  if (!first_error.ok()) return first_error;
+  if (recovered) rounds_recovered_.fetch_add(1, std::memory_order_relaxed);
 
   FinalizeRound(requests, &result);
   return result;
@@ -205,12 +192,35 @@ std::vector<std::string> SplitEndpoints(const std::string& comma_separated) {
   return endpoints;
 }
 
-void ServeRpcConnection(Socket socket) {
+void ServeRpcConnection(Socket socket, RpcServeOptions serve) {
   for (;;) {
+    if (serve.stop != nullptr) {
+      // Idle-wait in short slices so a shutdown request is noticed
+      // between frames; once bytes are pending the request is drained —
+      // received, executed, and answered — before the check repeats.
+      for (;;) {
+        StatusOr<bool> readable = WaitReadable(socket.fd(), 200);
+        if (!readable.ok()) return;
+        if (readable.value()) break;
+        if (serve.stop->load(std::memory_order_relaxed)) return;
+      }
+    }
     Frame request;
     if (!RecvFrame(socket.fd(), &request).ok()) {
       return;  // clean close between frames, or a broken peer — either way
                // this connection is done
+    }
+    if (serve.chaos_tasks_remaining != nullptr &&
+        request.kind != static_cast<uint8_t>(RpcTaskKind::kPingTask) &&
+        serve.chaos_tasks_remaining->fetch_sub(
+            1, std::memory_order_relaxed) <= 0) {
+      // Chaos axis: crash WITHOUT replying, so the master sees exactly
+      // what a mid-round node death looks like. Pings are exempt — the
+      // budget counts task work, and reconnect probes must not skew it.
+      std::fprintf(stderr,
+                   "mpqopt_worker: --chaos-kill-after budget exhausted, "
+                   "crashing without reply\n");
+      std::_Exit(42);
     }
     const WorkerTask task =
         TaskForKind(static_cast<RpcTaskKind>(request.kind));
@@ -227,7 +237,7 @@ void ServeRpcConnection(Socket socket) {
       StatusOr<std::vector<uint8_t>> response = task(request.payload);
       if (response.ok()) {
         body = std::move(response).value();
-        if (body.size() > kMaxFramePayloadBytes - kReplyHeaderBytes) {
+        if (body.size() > kMaxFramePayloadBytes - kRpcReplyHeaderBytes) {
           // Report the oversize as a task error instead of failing the
           // send and tearing down a healthy connection.
           reply_kind = RpcReplyKind::kTaskError;
@@ -245,7 +255,7 @@ void ServeRpcConnection(Socket socket) {
     const auto end = std::chrono::steady_clock::now();
     const double seconds = std::chrono::duration<double>(end - start).count();
     const std::vector<uint8_t> payload =
-        BuildReplyPayload(seconds, body.data(), body.size());
+        BuildRpcReplyPayload(seconds, body.data(), body.size());
     if (!SendFrame(socket.fd(), static_cast<uint8_t>(reply_kind), payload)
              .ok()) {
       return;
@@ -253,12 +263,52 @@ void ServeRpcConnection(Socket socket) {
   }
 }
 
-Status ServeRpcWorker(TcpListener* listener) {
+Status ServeRpcWorker(TcpListener* listener, RpcServeOptions serve) {
+  // Serving threads are detached but counted, so a graceful stop can
+  // drain them: stop accepting, then wait (bounded) until every thread
+  // finished its in-flight request and noticed the flag.
+  struct ServeState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    int active = 0;
+  };
+  auto state = std::make_shared<ServeState>();
   for (;;) {
+    if (serve.stop != nullptr) {
+      if (serve.stop->load(std::memory_order_relaxed)) break;
+      StatusOr<bool> readable = WaitReadable(listener->fd(), 200);
+      if (!readable.ok()) return readable.status();
+      if (!readable.value()) continue;  // timeout slice: re-check stop
+    }
     StatusOr<Socket> accepted = listener->Accept(/*timeout_ms=*/-1);
     if (!accepted.ok()) return accepted.status();
-    std::thread(ServeRpcConnection, std::move(accepted).value()).detach();
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      ++state->active;
+    }
+    std::thread(
+        [state, serve](Socket connection) {
+          ServeRpcConnection(std::move(connection), serve);
+          std::lock_guard<std::mutex> lock(state->mutex);
+          --state->active;
+          state->cv.notify_all();
+        },
+        std::move(accepted).value())
+        .detach();
   }
+  std::unique_lock<std::mutex> lock(state->mutex);
+  const bool drained =
+      state->cv.wait_for(lock, std::chrono::seconds(10),
+                         [&state] { return state->active == 0; });
+  if (!drained) {
+    // Exiting now would kill detached threads mid-task; the caller must
+    // not report a clean drain (mpqopt_worker exits non-zero on this).
+    return Status::Internal(
+        "shutdown grace period expired with " +
+        std::to_string(state->active) +
+        " connection(s) still serving an in-flight task");
+  }
+  return Status::OK();
 }
 
 }  // namespace mpqopt

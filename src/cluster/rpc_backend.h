@@ -5,66 +5,63 @@
 // The other backends host worker tasks on this machine; RpcBackend is the
 // first genuinely distributed runtime: each round's requests are
 // scattered over a pool of persistent connections to mpqopt_worker server
-// processes (one connection per worker endpoint, round-robin when a round
-// has more tasks than workers), and the request/response byte contract on
-// the wire is exactly the payload contract the in-process backends
-// execute — the conformance suite in tests/backend_test.cc asserts
-// byte-identical responses and identical TrafficStats across all four
-// backends.
+// processes, and the request/response byte contract on the wire is
+// exactly the payload contract the in-process backends execute — the
+// conformance suite in tests/backend_test.cc asserts byte-identical
+// responses and identical TrafficStats across all four backends.
 //
 // Protocol, on top of the framed transport (src/net/frame_transport.h):
 //
 //   request frame   kind = RpcTaskKind, payload = request bytes
-//   reply frame     kind = 0 (ok) | 1 (task error)
-//                   payload = f64 compute-seconds (little-endian), then
-//                             response bytes (ok) or status text (error)
+//   reply frame     kind = RpcReplyKind, payload = compute-seconds header
+//                   then response bytes or status text
+//                   (see cluster/rpc_protocol.h)
 //
-// The compute seconds are measured INSIDE the worker process (shipped as
-// a little-endian IEEE-754 bit pattern), so FinalizeRound's modeled
-// cluster time stays comparable with every other backend. A worker that
-// CRASHES mid-round surfaces as an error Status on the round, not a
-// hang: the kernel delivers an EOF/RST for the dead peer, and the
-// connection is marked dead so later rounds touching it fail fast too.
-// A peer that silently stops answering without closing (network
-// partition, SIGSTOP, half-open TCP) is a different failure mode —
-// connections enable TCP keepalive, and `io_timeout_ms` bounds each
-// reply wait when a deployment needs a hard deadline (the default, -1,
-// waits indefinitely: worker compute time is unbounded in general).
+// Failure handling is SELF-HEALING, not fail-fast: connection lifecycle
+// and worker health live in a WorkerSupervisor
+// (cluster/supervisor/worker_supervisor.h), which redials failed workers
+// with capped exponential backoff and ping-verifies them before reuse.
+// RunRound layers round-level recovery on top — when an exchange fails at
+// the connection level, only the tasks that did not complete are
+// re-scattered across the currently usable workers (tasks are pure
+// functions of their request bytes, so a retry elsewhere returns the same
+// bytes, and each task's compute seconds come from its one successful
+// attempt — modeled cluster time stays consistent with the in-process
+// backends). A round fails only when a task itself errors (deterministic,
+// never retried), when every worker is DEAD, or when the bounded number
+// of re-scatter passes is exhausted (a pathological worker that keeps
+// accepting and dying cannot livelock a round). Retry/backoff knobs come
+// from BackendOptions: worker_retries, worker_backoff_ms,
+// worker_backoff_max_ms, io_timeout_ms.
 //
-// Thread safety: RunRound may be called concurrently; a per-connection
-// mutex serializes whole request/response exchanges, so interleaved
-// rounds cannot mix frames on one stream.
+// Thread safety: RunRound may be called concurrently; the supervisor's
+// per-worker mutex serializes whole request/response exchanges, so
+// interleaved rounds cannot mix frames on one stream.
 
 #ifndef MPQOPT_CLUSTER_RPC_BACKEND_H_
 #define MPQOPT_CLUSTER_RPC_BACKEND_H_
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/backend.h"
+#include "cluster/rpc_protocol.h"
+#include "cluster/supervisor/worker_supervisor.h"
 #include "net/frame_transport.h"
 
 namespace mpqopt {
 
-/// Reply-frame tags (the `kind` byte of frames flowing worker -> master).
-enum class RpcReplyKind : uint8_t {
-  kOk = 0,
-  kTaskError = 1,
-};
-
 /// Master-side backend dispatching rounds to remote worker processes.
 class RpcBackend : public ExecutionBackend {
  public:
-  /// Connects to every "host:port" endpoint; fails (naming the endpoint)
-  /// if any worker is unreachable within the timeout. `io_timeout_ms`
-  /// bounds each per-task reply wait (-1 = wait indefinitely; see the
-  /// header comment).
+  /// Connects to (and ping-verifies) every "host:port" endpoint; fails
+  /// naming the endpoint if any worker is unreachable. Supervision knobs
+  /// (redial budget, backoff, reply deadline) ride in `supervision`.
   static StatusOr<std::shared_ptr<RpcBackend>> Connect(
       NetworkModel model, const std::vector<std::string>& endpoints,
-      int connect_timeout_ms = 5000, int io_timeout_ms = -1);
+      SupervisorOptions supervision = {});
 
   StatusOr<RoundResult> RunRound(
       const std::vector<WorkerTask>& tasks,
@@ -72,33 +69,24 @@ class RpcBackend : public ExecutionBackend {
 
   const char* name() const override { return "rpc"; }
 
-  /// Number of connected worker endpoints (the scatter width).
-  size_t num_connections() const { return connections_.size(); }
+  /// Per-worker health plus reconnect/re-scatter counters.
+  BackendHealth health() const override;
+
+  /// Number of supervised worker endpoints (the maximal scatter width).
+  size_t num_connections() const { return supervisor_->num_workers(); }
+
+  const WorkerSupervisor& supervisor() const { return *supervisor_; }
 
  private:
-  struct Connection {
-    std::string endpoint;
-    Socket socket;
-    std::mutex mutex;  ///< serializes request/response pairs; guards `dead`
-    bool dead = false;
-  };
-
   RpcBackend(NetworkModel model,
-             std::vector<std::unique_ptr<Connection>> connections,
-             int io_timeout_ms)
-      : ExecutionBackend(model),
-        connections_(std::move(connections)),
-        io_timeout_ms_(io_timeout_ms) {}
+             std::unique_ptr<WorkerSupervisor> supervisor)
+      : ExecutionBackend(model), supervisor_(std::move(supervisor)) {}
 
-  /// One request/response exchange on `connection` (locked inside).
-  Status CallWorker(Connection* connection, uint8_t task_kind,
-                    const std::vector<uint8_t>& request,
-                    std::vector<uint8_t>* response, double* compute_seconds);
-
-  std::vector<std::unique_ptr<Connection>> connections_;
-  int io_timeout_ms_ = -1;
-  /// Rotates each round's first connection so concurrent small rounds
-  /// spread over the whole pool.
+  std::unique_ptr<WorkerSupervisor> supervisor_;
+  std::atomic<uint64_t> tasks_rescattered_{0};
+  std::atomic<uint64_t> rounds_recovered_{0};
+  /// Rotates each round's first worker so concurrent small rounds spread
+  /// over the whole pool.
   std::atomic<size_t> round_offset_{0};
 };
 
@@ -106,14 +94,32 @@ class RpcBackend : public ExecutionBackend {
 /// dropping empty entries.
 std::vector<std::string> SplitEndpoints(const std::string& comma_separated);
 
-/// Worker-server side: serves framed task requests on one established
-/// connection until the peer disconnects. Runs the registered entry point
-/// for each request's task kind; unknown kinds get a task-error reply.
-void ServeRpcConnection(Socket socket);
+/// Worker-server-side knobs shared by every serving thread.
+struct RpcServeOptions {
+  /// Graceful-shutdown flag (mpqopt_worker sets it from SIGTERM/SIGINT).
+  /// When non-null, idle serving threads poll it and exit once set; an
+  /// in-flight task is drained — executed and answered — first.
+  const std::atomic<bool>* stop = nullptr;
+  /// Chaos test axis (mpqopt_worker --chaos-kill-after=N): when non-null,
+  /// decremented once per received task request; when it drops below
+  /// zero the process exits abruptly WITHOUT replying — a deterministic
+  /// mid-round crash for the failover tests.
+  std::atomic<int64_t>* chaos_tasks_remaining = nullptr;
+};
 
-/// Accept loop of mpqopt_worker: spawns one detached serving thread per
-/// accepted connection. Returns only when accept fails fatally.
-Status ServeRpcWorker(TcpListener* listener);
+/// Worker-server side: serves framed task requests on one established
+/// connection until the peer disconnects (or `serve.stop` is set and the
+/// connection is idle). Runs the registered entry point for each
+/// request's task kind; unknown kinds get a task-error reply.
+void ServeRpcConnection(Socket socket, RpcServeOptions serve = {});
+
+/// Accept loop of mpqopt_worker: spawns one serving thread per accepted
+/// connection. After `serve.stop` is set, returns OK once every serving
+/// thread has drained, or an error when the 10 s grace period expires
+/// with tasks still in flight (so exit 0 really means "nothing was
+/// cut off"). Without a stop flag it returns only on a fatal accept
+/// failure.
+Status ServeRpcWorker(TcpListener* listener, RpcServeOptions serve = {});
 
 }  // namespace mpqopt
 

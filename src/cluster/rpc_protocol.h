@@ -1,0 +1,70 @@
+// Copyright 2026 mpqopt authors.
+//
+// The worker -> master reply wire format, shared by everything that
+// speaks the RPC protocol: the worker serve loop (cluster/rpc_backend.cc)
+// builds replies, and both the round path (RpcBackend) and the health
+// probes (cluster/supervisor/) decode them.
+//
+// Reply frame, on top of the framed transport (net/frame_transport.h):
+//
+//   kind     RpcReplyKind (ok | task error)
+//   payload  f64 compute-seconds (IEEE-754 bit pattern, little-endian),
+//            then response bytes (ok) or status text (task error)
+//
+// The compute seconds are measured INSIDE the worker process, so
+// FinalizeRound's modeled cluster time stays comparable with every other
+// backend regardless of which worker (or which retry) produced the
+// response.
+
+#ifndef MPQOPT_CLUSTER_RPC_PROTOCOL_H_
+#define MPQOPT_CLUSTER_RPC_PROTOCOL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace mpqopt {
+
+/// Reply-frame tags (the `kind` byte of frames flowing worker -> master).
+enum class RpcReplyKind : uint8_t {
+  kOk = 0,
+  kTaskError = 1,
+};
+
+/// Bytes of the compute-seconds header that precedes every reply body.
+constexpr size_t kRpcReplyHeaderBytes = sizeof(double);
+
+/// Builds one reply payload: the compute-seconds header followed by
+/// `size` body bytes. The f64 crosses the wire as its IEEE-754 bit
+/// pattern in little-endian byte order, like the frame length prefix —
+/// independent of either peer's host endianness.
+inline std::vector<uint8_t> BuildRpcReplyPayload(double compute_seconds,
+                                                 const uint8_t* body,
+                                                 size_t size) {
+  std::vector<uint8_t> payload(kRpcReplyHeaderBytes + size);
+  uint64_t bits = 0;
+  std::memcpy(&bits, &compute_seconds, sizeof(bits));
+  for (size_t i = 0; i < sizeof(bits); ++i) {
+    payload[i] = static_cast<uint8_t>(bits >> (8 * i));
+  }
+  if (size > 0) {
+    std::memcpy(payload.data() + kRpcReplyHeaderBytes, body, size);
+  }
+  return payload;
+}
+
+/// Decodes the compute-seconds header of a reply payload; the caller has
+/// already checked payload.size() >= kRpcReplyHeaderBytes.
+inline double DecodeRpcReplySeconds(const std::vector<uint8_t>& payload) {
+  uint64_t bits = 0;
+  for (size_t i = 0; i < sizeof(bits); ++i) {
+    bits |= static_cast<uint64_t>(payload[i]) << (8 * i);
+  }
+  double seconds = 0;
+  std::memcpy(&seconds, &bits, sizeof(seconds));
+  return seconds;
+}
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_CLUSTER_RPC_PROTOCOL_H_

@@ -33,6 +33,8 @@ const char* RpcTaskKindName(RpcTaskKind kind) {
       return "fail";
     case RpcTaskKind::kSleepEchoTask:
       return "sleep-echo";
+    case RpcTaskKind::kPingTask:
+      return "ping";
   }
   return "unknown";
 }
@@ -58,6 +60,11 @@ StatusOr<std::vector<uint8_t>> SleepEchoTaskMain(
                               request.end());
 }
 
+StatusOr<std::vector<uint8_t>> PingTaskMain(
+    const std::vector<uint8_t>& request) {
+  return request;
+}
+
 RpcTaskKind ResolveTaskKind(const WorkerTask& task) {
   const WorkerFn* fn = task.target<WorkerFn>();
   if (fn == nullptr) return RpcTaskKind::kUnknownTask;
@@ -68,6 +75,7 @@ RpcTaskKind ResolveTaskKind(const WorkerTask& task) {
   if (*fn == &EchoTaskMain) return RpcTaskKind::kEchoTask;
   if (*fn == &FailTaskMain) return RpcTaskKind::kFailTask;
   if (*fn == &SleepEchoTaskMain) return RpcTaskKind::kSleepEchoTask;
+  if (*fn == &PingTaskMain) return RpcTaskKind::kPingTask;
   return RpcTaskKind::kUnknownTask;
 }
 
@@ -85,6 +93,8 @@ WorkerTask TaskForKind(RpcTaskKind kind) {
       return WorkerTask(&FailTaskMain);
     case RpcTaskKind::kSleepEchoTask:
       return WorkerTask(&SleepEchoTaskMain);
+    case RpcTaskKind::kPingTask:
+      return WorkerTask(&PingTaskMain);
   }
   return nullptr;
 }

@@ -13,9 +13,12 @@
 // replica and are deliberately NOT registrable; a stateful worker needs a
 // session protocol, not a bigger registry.)
 //
-// The registry also carries three tiny diagnostic kinds (echo, fail,
-// sleep-echo) so the cross-backend conformance suite and the worker-crash
-// tests can drive a remote worker without involving an optimizer.
+// The registry also carries tiny diagnostic kinds (echo, fail,
+// sleep-echo, ping) so the cross-backend conformance suite and the
+// worker-crash tests can drive a remote worker without involving an
+// optimizer; ping doubles as the health-probe frame the supervision
+// subsystem (cluster/supervisor/) sends to verify a redialed worker
+// actually serves before marking it healthy again.
 
 #ifndef MPQOPT_CLUSTER_TASK_REGISTRY_H_
 #define MPQOPT_CLUSTER_TASK_REGISTRY_H_
@@ -36,6 +39,7 @@ enum class RpcTaskKind : uint8_t {
   kEchoTask = 3,       ///< diagnostic: response = request
   kFailTask = 4,       ///< diagnostic: fails with the request as message
   kSleepEchoTask = 5,  ///< diagnostic: u32 ms sleep, then echo the rest
+  kPingTask = 6,       ///< health probe: echoes the nonce payload
 };
 
 /// Human-readable kind name for error messages.
@@ -52,6 +56,13 @@ StatusOr<std::vector<uint8_t>> FailTaskMain(const std::vector<uint8_t>& request)
 /// sleeps, then echoes the body. Used to hold a remote worker busy while
 /// crash handling is exercised.
 StatusOr<std::vector<uint8_t>> SleepEchoTaskMain(
+    const std::vector<uint8_t>& request);
+
+/// Health-probe entry point: echoes the request nonce. Semantically a
+/// liveness check, not a computation — the supervisor sends one after
+/// every (re)dial and requires the nonce back before trusting the
+/// connection with real round traffic.
+StatusOr<std::vector<uint8_t>> PingTaskMain(
     const std::vector<uint8_t>& request);
 
 /// Maps a WorkerTask back to its registered kind, or kUnknownTask when

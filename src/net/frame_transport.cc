@@ -131,6 +131,20 @@ Status SendFrame(int fd, uint8_t kind, const std::vector<uint8_t>& payload) {
   return s;
 }
 
+StatusOr<bool> WaitReadable(int fd, int timeout_ms) {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("poll failed"));
+    }
+    return ready > 0;
+  }
+}
+
 Status RecvFrame(int fd, Frame* frame, int timeout_ms) {
   Deadline deadline;
   const Deadline* deadline_ptr = nullptr;

@@ -71,6 +71,12 @@ constexpr uint64_t kMaxFramePayloadBytes = uint64_t{1} << 30;
 /// broken connection returns kInternal.
 Status SendFrame(int fd, uint8_t kind, const std::vector<uint8_t>& payload);
 
+/// Waits up to `timeout_ms` for `fd` to become readable (data pending, or
+/// EOF/error — a subsequent read will not block). Returns true when
+/// readable, false on timeout. Lets a serving loop wait for work in
+/// bounded slices so it can notice a shutdown flag between frames.
+StatusOr<bool> WaitReadable(int fd, int timeout_ms);
+
 /// Receives one frame. `timeout_ms` < 0 blocks indefinitely; otherwise
 /// it is one absolute deadline on the whole frame (header + payload) —
 /// a peer trickling bytes cannot stretch it. Clean peer close before the
@@ -99,6 +105,8 @@ class TcpListener {
 
   bool valid() const { return socket_.valid(); }
   int port() const { return port_; }
+  /// The listening fd, for WaitReadable-style bounded accept loops.
+  int fd() const { return socket_.fd(); }
 
  private:
   Socket socket_;

@@ -19,6 +19,8 @@ OptimizerService::OptimizerService(ServiceOptions options)
     backend_opts.network = options_.network;
     backend_opts.max_threads = options_.backend_threads;
     backend_opts.workers_addr = options_.workers_addr;
+    backend_opts.worker_retries = options_.worker_retries;
+    backend_opts.worker_backoff_ms = options_.worker_backoff_ms;
     StatusOr<std::shared_ptr<ExecutionBackend>> made =
         MakeBackend(options_.backend_kind, backend_opts);
     if (made.ok()) {
@@ -206,7 +208,19 @@ ServiceStats OptimizerService::stats() const {
     snapshot = stats_;
   }
   if (cache_ != nullptr) {
-    snapshot.cache_evictions = cache_->stats().evictions();
+    const PlanCacheStats cache_stats = cache_->stats();
+    snapshot.cache_evictions = cache_stats.evictions();
+    snapshot.cache_evictions_capacity = cache_stats.evictions_capacity;
+    snapshot.cache_evictions_ttl = cache_stats.evictions_ttl;
+    snapshot.cache_evictions_invalidated = cache_stats.evictions_invalidated;
+  }
+  if (backend_ != nullptr) {
+    BackendHealth health = backend_->health();
+    snapshot.worker_reconnect_attempts = health.reconnect_attempts;
+    snapshot.worker_reconnects = health.reconnects;
+    snapshot.tasks_rescattered = health.tasks_rescattered;
+    snapshot.rounds_recovered = health.rounds_recovered;
+    snapshot.workers = std::move(health.workers);
   }
   return snapshot;
 }

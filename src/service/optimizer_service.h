@@ -50,6 +50,11 @@ struct ServiceOptions {
   int backend_threads = 0;
   /// Worker endpoints when backend_kind == kRpc and `backend` is null.
   std::string workers_addr;
+  /// Supervision knobs forwarded to the rpc backend (see BackendOptions):
+  /// redial budget per worker failure episode, and the initial redial
+  /// backoff (doubling, capped).
+  int worker_retries = 2;
+  int worker_backoff_ms = 50;
   /// Maximum number of query masters driven concurrently by
   /// OptimizeBatch (the per-query master work: serialize, submit round,
   /// final prune). Optimize() callers bring their own threads and are
@@ -82,9 +87,26 @@ struct ServiceStats {
   /// single-flight waiter counts toward hits, not misses — exactly one
   /// miss is recorded per computed fingerprint.
   uint64_t cache_misses = 0;
-  /// Entries evicted from the plan cache for any reason (capacity, TTL,
-  /// statistics invalidation).
+  /// Entries evicted from the plan cache for any reason (the sum of the
+  /// three per-cause counters below).
   uint64_t cache_evictions = 0;
+  /// Evictions split by cause: LRU byte-budget pressure, TTL expiry, and
+  /// statistics invalidation (epoch bump, InvalidateWhere/Table, Clear).
+  uint64_t cache_evictions_capacity = 0;
+  uint64_t cache_evictions_ttl = 0;
+  uint64_t cache_evictions_invalidated = 0;
+
+  /// Remote-worker supervision (zero/empty on in-process backends; see
+  /// cluster/supervisor/worker_supervisor.h). Redials attempted and
+  /// succeeded across all workers:
+  uint64_t worker_reconnect_attempts = 0;
+  uint64_t worker_reconnects = 0;
+  /// Tasks re-scattered after a worker failure, and rounds that needed
+  /// at least one recovery pass:
+  uint64_t tasks_rescattered = 0;
+  uint64_t rounds_recovered = 0;
+  /// Per-worker endpoint, health state, and failure counters.
+  std::vector<WorkerHealthSnapshot> workers;
 };
 
 /// Outcome of one OptimizeBatch call.

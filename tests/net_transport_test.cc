@@ -149,6 +149,93 @@ TEST(FrameTransportTest, PeerDisconnectMidPayloadIsCorruption) {
   EXPECT_NE(s.message().find("mid-frame"), std::string::npos);
 }
 
+TEST(FrameTransportTest, RecvDeadlineFiresMidHeader) {
+  // The peer sends PART of a header and then stalls: the deadline is
+  // absolute over the whole frame, so trickled bytes must not stretch
+  // it.
+  TcpPair pair = MakeTcpPair();
+  const uint8_t partial_header[4] = {7, 1, 2, 3};
+  ASSERT_EQ(::send(pair.client.fd(), partial_header, sizeof(partial_header), 0),
+            static_cast<ssize_t>(sizeof(partial_header)));
+  Frame frame;
+  const auto start = std::chrono::steady_clock::now();
+  const Status s = RecvFrame(pair.server.fd(), &frame, /*timeout_ms=*/150);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("timed out"), std::string::npos);
+  EXPECT_GE(elapsed, 0.1);
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(FrameTransportTest, RecvDeadlineFiresMidPayload) {
+  // A complete header promising 100 payload bytes, 10 of which arrive;
+  // the receiver must give up at the deadline, not wait for the rest.
+  TcpPair pair = MakeTcpPair();
+  uint8_t header[9] = {0};
+  header[0] = 5;
+  header[1] = 100;
+  ASSERT_EQ(::send(pair.client.fd(), header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  const uint8_t some[10] = {0};
+  ASSERT_EQ(::send(pair.client.fd(), some, sizeof(some), 0),
+            static_cast<ssize_t>(sizeof(some)));
+  Frame frame;
+  const auto start = std::chrono::steady_clock::now();
+  const Status s = RecvFrame(pair.server.fd(), &frame, /*timeout_ms=*/150);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("timed out"), std::string::npos);
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(FrameTransportTest, OversizedHeaderRejectionLeavesTheConnectionUsable) {
+  // An oversized length prefix is rejected from the header alone, after
+  // exactly the 9 header bytes were consumed — so when the sender never
+  // follows up with the bogus payload, the stream is not poisoned and
+  // the next valid frame still parses.
+  TcpPair pair = MakeTcpPair();
+  uint8_t header[9];
+  header[0] = 1;
+  const uint64_t huge = kMaxFramePayloadBytes + 1;
+  for (int i = 0; i < 8; ++i) {
+    header[1 + i] = static_cast<uint8_t>(huge >> (8 * i));
+  }
+  ASSERT_EQ(::send(pair.client.fd(), header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  Frame frame;
+  const Status rejected = RecvFrame(pair.server.fd(), &frame);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), StatusCode::kCorruption);
+
+  ASSERT_TRUE(SendFrame(pair.client.fd(), 8, {1, 2, 3}).ok());
+  ASSERT_TRUE(RecvFrame(pair.server.fd(), &frame).ok());
+  EXPECT_EQ(frame.kind, 8);
+  EXPECT_EQ(frame.payload, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(FrameTransportTest, WaitReadableReportsDataAndTimeout) {
+  TcpPair pair = MakeTcpPair();
+  StatusOr<bool> idle = WaitReadable(pair.server.fd(), 50);
+  ASSERT_TRUE(idle.ok());
+  EXPECT_FALSE(idle.value());
+  ASSERT_TRUE(SendFrame(pair.client.fd(), 1, {42}).ok());
+  StatusOr<bool> ready = WaitReadable(pair.server.fd(), 1000);
+  ASSERT_TRUE(ready.ok());
+  EXPECT_TRUE(ready.value());
+  // EOF also counts as readable: a blocked server must wake up to learn
+  // the peer is gone.
+  Frame frame;
+  ASSERT_TRUE(RecvFrame(pair.server.fd(), &frame).ok());
+  pair.client.Close();
+  StatusOr<bool> eof = WaitReadable(pair.server.fd(), 1000);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_TRUE(eof.value());
+}
+
 TEST(FrameTransportTest, RecvTimesOutWhenPeerIsSilent) {
   TcpPair pair = MakeTcpPair();
   Frame frame;

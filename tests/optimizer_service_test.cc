@@ -194,6 +194,36 @@ TEST(OptimizerServiceTest2, StatsSnapshotIsConsistentUnderConcurrency) {
   EXPECT_EQ(stats.cache_evictions, 0u);
 }
 
+TEST(OptimizerServiceTest2, EvictionCountersAreSplitByCause) {
+  // ServiceStats no longer collapses evictions into one number: the
+  // per-cause counters (capacity / TTL / invalidated) must sum to the
+  // total and attribute each eviction to what actually triggered it.
+  const std::vector<Query> queries = MakeQueries(2, 8, 7006);
+  MpqOptions opts;
+  opts.space = PlanSpace::kLinear;
+  opts.num_workers = 4;
+  ServiceOptions service_opts;
+  service_opts.backend_threads = 1;
+  service_opts.enable_plan_cache = true;
+  service_opts.plan_cache_shards = 1;
+  OptimizerService service(service_opts);
+  ASSERT_TRUE(service.Optimize(queries[0], opts).ok());
+  ASSERT_TRUE(service.Optimize(queries[1], opts).ok());
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache_evictions, 0u);
+
+  // A statistics-epoch bump eagerly evicts both entries, attributed to
+  // the invalidation cause — not to capacity or TTL.
+  service.plan_cache()->BumpStatisticsEpoch();
+  stats = service.stats();
+  EXPECT_EQ(stats.cache_evictions_invalidated, 2u);
+  EXPECT_EQ(stats.cache_evictions_capacity, 0u);
+  EXPECT_EQ(stats.cache_evictions_ttl, 0u);
+  EXPECT_EQ(stats.cache_evictions, stats.cache_evictions_capacity +
+                                       stats.cache_evictions_ttl +
+                                       stats.cache_evictions_invalidated);
+}
+
 TEST(OptimizerServiceTest2, CacheCountersStayZeroWhenDisabled) {
   const std::vector<Query> queries = MakeQueries(1, 8, 7005);
   MpqOptions opts;

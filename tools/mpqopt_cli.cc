@@ -47,6 +47,8 @@ struct CliOptions {
   int parametric_table = 0;
   BackendKind backend = BackendKind::kThread;
   std::string workers_addr;
+  int worker_retries = 2;
+  int worker_backoff_ms = 50;
   int concurrent_queries = 0;
   int unique_queries = 0;  // 0 = every query distinct
   bool plan_cache = false;
@@ -82,6 +84,11 @@ const FlagDoc kFlagDocs[] = {
      "worker-execution runtime"},
     {"--workers-addr", "HOST:PORT[,HOST:PORT...]",
      "rpc worker endpoints (required for --backend=rpc)"},
+    {"--worker-retries", "N",
+     "rpc: redials per worker failure before it is marked dead "
+     "(default 2; 0 = dead on first failure)"},
+    {"--worker-backoff-ms", "MS",
+     "rpc: initial redial backoff, doubling per failure (default 50)"},
     {"--concurrent-queries", "Q",
      "serving mode: optimize Q queries concurrently via OptimizerService"},
     {"--unique-queries", "U",
@@ -186,6 +193,18 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->backend = kind.value();
     } else if (ParseFlag(argv[i], "--workers-addr", &v)) {
       opts->workers_addr = v;
+    } else if (ParseFlag(argv[i], "--worker-retries", &v)) {
+      opts->worker_retries = std::atoi(v.c_str());
+      if (opts->worker_retries < 0) {
+        std::fprintf(stderr, "--worker-retries must be >= 0\n");
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--worker-backoff-ms", &v)) {
+      opts->worker_backoff_ms = std::atoi(v.c_str());
+      if (opts->worker_backoff_ms < 0) {
+        std::fprintf(stderr, "--worker-backoff-ms must be >= 0\n");
+        return false;
+      }
     } else if (ParseFlag(argv[i], "--concurrent-queries", &v)) {
       opts->concurrent_queries = std::atoi(v.c_str());
       if (opts->concurrent_queries < 1) {
@@ -266,6 +285,8 @@ StatusOr<std::shared_ptr<ExecutionBackend>> BuildBackend(
   backend_opts.network = opts.network;
   backend_opts.max_threads = opts.max_threads;
   backend_opts.workers_addr = cli.workers_addr;
+  backend_opts.worker_retries = cli.worker_retries;
+  backend_opts.worker_backoff_ms = cli.worker_backoff_ms;
   return MakeBackend(cli.backend, backend_opts);
 }
 
@@ -326,10 +347,40 @@ int RunService(QueryGenerator* generator, const CliOptions& cli) {
               static_cast<unsigned long long>(stats.queries_completed),
               static_cast<unsigned long long>(stats.queries_failed));
   if (cli.plan_cache) {
-    std::printf("plan cache         %llu hits / %llu misses / %llu evictions\n",
+    std::printf("plan cache         %llu hits / %llu misses / %llu evictions"
+                " (capacity %llu / ttl %llu / invalidated %llu)\n",
                 static_cast<unsigned long long>(stats.cache_hits),
                 static_cast<unsigned long long>(stats.cache_misses),
-                static_cast<unsigned long long>(stats.cache_evictions));
+                static_cast<unsigned long long>(stats.cache_evictions),
+                static_cast<unsigned long long>(stats.cache_evictions_capacity),
+                static_cast<unsigned long long>(stats.cache_evictions_ttl),
+                static_cast<unsigned long long>(
+                    stats.cache_evictions_invalidated));
+  }
+  if (!stats.workers.empty()) {
+    size_t healthy = 0, suspect = 0, dead = 0;
+    for (const WorkerHealthSnapshot& w : stats.workers) {
+      healthy += w.health == WorkerHealth::kHealthy;
+      suspect += w.health == WorkerHealth::kSuspect;
+      dead += w.health == WorkerHealth::kDead;
+    }
+    std::printf("worker health      %zu healthy / %zu suspect / %zu dead; "
+                "%llu/%llu reconnects; %llu tasks re-scattered in %llu "
+                "rounds\n",
+                healthy, suspect, dead,
+                static_cast<unsigned long long>(stats.worker_reconnects),
+                static_cast<unsigned long long>(
+                    stats.worker_reconnect_attempts),
+                static_cast<unsigned long long>(stats.tasks_rescattered),
+                static_cast<unsigned long long>(stats.rounds_recovered));
+    for (const WorkerHealthSnapshot& w : stats.workers) {
+      std::printf("  %-18s %s (%llu reconnects, %llu io failures%s%s)\n",
+                  w.endpoint.c_str(), WorkerHealthName(w.health),
+                  static_cast<unsigned long long>(w.reconnects),
+                  static_cast<unsigned long long>(w.io_failures),
+                  w.last_error.empty() ? "" : "; last: ",
+                  w.last_error.c_str());
+    }
   }
   return stats.queries_failed == 0 ? 0 : 1;
 }

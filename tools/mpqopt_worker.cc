@@ -13,9 +13,25 @@
 //
 // On startup the worker prints "LISTENING <port>" to stdout — the RPC
 // test fixtures and deployment scripts read the chosen port from there.
-// The process serves until killed.
+//
+// Shutdown: SIGTERM or SIGINT triggers a clean drain — the listener
+// stops accepting, every serving thread finishes its in-flight request
+// (executed and answered), idle connections close, and the process exits
+// 0. Anything else (SIGKILL, --chaos-kill-after) is a crash, which the
+// master's supervision subsystem (cluster/supervisor/) handles by
+// redialing and re-scattering.
+//
+// --chaos-kill-after=N is the failover-test chaos axis: the worker
+// serves N task requests normally, then exits abruptly WITHOUT replying
+// to request N+1 — a deterministic mid-round node death. Ping frames do
+// not count against the budget.
 
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -25,19 +41,49 @@
 namespace mpqopt {
 namespace {
 
+/// Set by the SIGTERM/SIGINT handler; the accept loop and every serving
+/// thread poll it in bounded slices. std::atomic<bool> is lock-free on
+/// every platform this builds on, so the store is async-signal-safe.
+std::atomic<bool> g_stop{false};
+
+void HandleShutdownSignal(int /*signum*/) {
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+void InstallShutdownHandlers() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleShutdownSignal;
+  ::sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
+
 int Main(int argc, char** argv) {
   std::string listen = "0.0.0.0:0";
+  int64_t chaos_kill_after = -1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--listen=", 9) == 0) {
       listen = arg + 9;
+    } else if (std::strncmp(arg, "--chaos-kill-after=", 19) == 0) {
+      char* end = nullptr;
+      chaos_kill_after = std::strtoll(arg + 19, &end, 10);
+      if (end == arg + 19 || *end != '\0' || chaos_kill_after < 0) {
+        std::fprintf(stderr, "invalid --chaos-kill-after value: %s\n",
+                     arg + 19);
+        return 2;
+      }
     } else if (std::strcmp(arg, "--help") == 0) {
       std::fprintf(stderr,
-                   "usage: %s [--listen=HOST:PORT]\n"
+                   "usage: %s [--listen=HOST:PORT] [--chaos-kill-after=N]\n"
                    "  HOST:PORT   bind address (default 0.0.0.0:0; port 0\n"
                    "              picks an ephemeral port)\n"
+                   "  N           chaos test axis: serve N task requests,\n"
+                   "              then crash without replying\n"
                    "Prints \"LISTENING <port>\" once ready, then serves\n"
-                   "mpqopt worker tasks until killed.\n",
+                   "mpqopt worker tasks until killed; SIGTERM/SIGINT drain\n"
+                   "in-flight tasks and exit 0.\n",
                    argv[0]);
       return 2;
     } else {
@@ -58,10 +104,23 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", listener.status().ToString().c_str());
     return 1;
   }
+  InstallShutdownHandlers();
   std::printf("LISTENING %d\n", listener.value().port());
   std::fflush(stdout);
+  std::fprintf(stderr, "mpqopt_worker: pid %d serving on port %d%s\n",
+               static_cast<int>(::getpid()), listener.value().port(),
+               chaos_kill_after >= 0 ? " (chaos kill armed)" : "");
 
-  s = ServeRpcWorker(&listener.value());
+  std::atomic<int64_t> chaos_remaining{chaos_kill_after};
+  RpcServeOptions serve;
+  serve.stop = &g_stop;
+  if (chaos_kill_after >= 0) serve.chaos_tasks_remaining = &chaos_remaining;
+  s = ServeRpcWorker(&listener.value(), serve);
+  if (s.ok()) {
+    // Graceful SIGTERM/SIGINT drain completed.
+    std::fprintf(stderr, "mpqopt_worker: drained, shutting down cleanly\n");
+    return 0;
+  }
   std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
   return 1;
 }
