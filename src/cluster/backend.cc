@@ -9,23 +9,51 @@
 
 namespace mpqopt {
 
-void ExecutionBackend::FinalizeRound(
-    const std::vector<std::vector<uint8_t>>& requests,
-    RoundResult* result) const {
-  const size_t num_tasks = requests.size();
+void AccountRound(const NetworkModel& model,
+                  const std::vector<size_t>& request_sizes,
+                  RoundResult* result) {
+  const size_t num_tasks = request_sizes.size();
   MPQOPT_CHECK_EQ(result->responses.size(), num_tasks);
   MPQOPT_CHECK_EQ(result->compute_seconds.size(), num_tasks);
   double slowest = 0;
   for (size_t i = 0; i < num_tasks; ++i) {
-    result->traffic.Record(requests[i].size());
+    result->traffic.Record(request_sizes[i]);
     result->traffic.Record(result->responses[i].size());
-    const double worker_total = model_.TransferTime(requests[i].size()) +
+    const double worker_total = model.TransferTime(request_sizes[i]) +
                                 result->compute_seconds[i] +
-                                model_.TransferTime(result->responses[i].size());
+                                model.TransferTime(result->responses[i].size());
     if (worker_total > slowest) slowest = worker_total;
   }
   result->simulated_seconds =
-      static_cast<double>(num_tasks) * model_.task_setup_s + slowest;
+      static_cast<double>(num_tasks) * model.task_setup_s + slowest;
+}
+
+void ExecutionBackend::FinalizeRound(
+    const std::vector<std::vector<uint8_t>>& requests,
+    RoundResult* result) const {
+  std::vector<size_t> sizes;
+  sizes.reserve(requests.size());
+  for (const std::vector<uint8_t>& request : requests) {
+    sizes.push_back(request.size());
+  }
+  AccountRound(model_, sizes, result);
+}
+
+BackendHealth ExecutionBackend::health() const {
+  BackendHealth health;
+  FillSessionCounters(&health);
+  return health;
+}
+
+void ExecutionBackend::FillSessionCounters(BackendHealth* health) const {
+  health->sessions.sessions_opened =
+      session_counters_.opened.load(std::memory_order_relaxed);
+  health->sessions.session_rounds =
+      session_counters_.rounds.load(std::memory_order_relaxed);
+  health->sessions.sessions_recovered =
+      session_counters_.recovered.load(std::memory_order_relaxed);
+  health->sessions.sessions_failed =
+      session_counters_.failed.load(std::memory_order_relaxed);
 }
 
 namespace {

@@ -38,6 +38,7 @@
 #ifndef MPQOPT_CLUSTER_BACKEND_H_
 #define MPQOPT_CLUSTER_BACKEND_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -48,6 +49,9 @@
 #include "net/network_model.h"
 
 namespace mpqopt {
+
+class SessionHandle;                     // cluster/session/session.h
+enum class StatefulTaskKind : uint8_t;   // cluster/session/stateful_task.h
 
 /// A worker task: consumes a request payload, returns a response payload.
 using WorkerTask =
@@ -65,6 +69,32 @@ struct RoundResult {
   double wall_seconds = 0;
   /// Bytes and messages that crossed the simulated network this round.
   TrafficStats traffic;
+};
+
+/// Shared round accounting, usable by both stateless rounds and session
+/// rounds: records request/response traffic and computes the modeled
+/// cluster time — the master dispatches all tasks (setup cost per task,
+/// serially on the master), every worker runs in parallel on its own
+/// node, and the round completes when the slowest worker's response has
+/// arrived back at the master. Requires result->responses and
+/// result->compute_seconds to be filled in; request_sizes[i] is the
+/// payload size task/node i received.
+void AccountRound(const NetworkModel& model,
+                  const std::vector<size_t>& request_sizes,
+                  RoundResult* result);
+
+/// Session activity of a backend, aggregated across every SessionHandle
+/// it opened (cluster/session/). Plain-value mirror of the internal
+/// atomic counters, reported through BackendHealth.
+struct SessionCounterSnapshot {
+  /// OpenSession calls that succeeded (one per session group).
+  uint64_t sessions_opened = 0;
+  /// Stateful rounds executed (Step + Broadcast calls).
+  uint64_t session_rounds = 0;
+  /// Node replicas rebuilt by re-open + replay after a worker failure.
+  uint64_t sessions_recovered = 0;
+  /// Session groups that ended in an unrecoverable error.
+  uint64_t sessions_failed = 0;
 };
 
 /// Health of one supervised remote worker (cluster/supervisor/). The
@@ -109,6 +139,9 @@ struct BackendHealth {
   uint64_t tasks_rescattered = 0;
   /// Rounds that needed at least one re-scatter pass to complete.
   uint64_t rounds_recovered = 0;
+  /// Stateful-session activity (cluster/session/); all-zero on a backend
+  /// that never opened a session.
+  SessionCounterSnapshot sessions;
 
   size_t CountWorkers(WorkerHealth health) const {
     size_t n = 0;
@@ -131,30 +164,52 @@ class ExecutionBackend {
       const std::vector<WorkerTask>& tasks,
       const std::vector<std::vector<uint8_t>>& requests) = 0;
 
+  /// Opens a stateful session: one replica per entry of `open_requests`,
+  /// built by the registered kind's open function (see
+  /// cluster/session/stateful_task.h). The default implementation hosts
+  /// the replicas in this process and runs scatter steps through
+  /// RunRound (cluster/session/local_session.h) — correct for every
+  /// in-process backend; RpcBackend overrides it with the wire protocol.
+  /// The handle must not outlive this backend.
+  virtual StatusOr<std::unique_ptr<SessionHandle>> OpenSession(
+      StatefulTaskKind kind,
+      const std::vector<std::vector<uint8_t>>& open_requests);
+
   /// Short human-readable backend name ("thread", "process", "async",
   /// "rpc").
   virtual const char* name() const = 0;
 
+  /// Internal (atomic) session counters, shared by pointer with the
+  /// SessionHandles this backend opens; health() snapshots them. The
+  /// type is public so the handle implementations can name it; the
+  /// member itself stays protected.
+  struct SessionCounters {
+    std::atomic<uint64_t> opened{0};
+    std::atomic<uint64_t> rounds{0};
+    std::atomic<uint64_t> recovered{0};
+    std::atomic<uint64_t> failed{0};
+  };
+
   /// Supervision snapshot: per-worker health and reconnect/re-scatter
-  /// counters. In-process backends have nothing to supervise and return
-  /// the empty default.
-  virtual BackendHealth health() const { return {}; }
+  /// counters, plus session activity. In-process backends have nothing
+  /// to supervise and report only the session counters.
+  virtual BackendHealth health() const;
 
   const NetworkModel& network() const { return model_; }
 
  protected:
   explicit ExecutionBackend(NetworkModel model) : model_(model) {}
 
-  /// Shared post-round accounting: records request/response traffic and
-  /// computes the modeled cluster time — the master dispatches all tasks
-  /// (setup cost per task, serially on the master), every worker then
-  /// runs in parallel on its own node, and the round completes when the
-  /// slowest worker's response has arrived back at the master. Requires
-  /// result->responses and result->compute_seconds to be filled in.
+  /// Shared post-round accounting; delegates to AccountRound (see the
+  /// free function above for the model).
   void FinalizeRound(const std::vector<std::vector<uint8_t>>& requests,
                      RoundResult* result) const;
 
+  /// Copies the session counters into `health->sessions`.
+  void FillSessionCounters(BackendHealth* health) const;
+
   NetworkModel model_;
+  SessionCounters session_counters_;
 };
 
 /// Selects a backend implementation by name.

@@ -11,6 +11,8 @@
 #include <numeric>
 #include <thread>
 
+#include "cluster/session/rpc_session.h"
+#include "cluster/session/session_wire.h"
 #include "cluster/task_registry.h"
 
 namespace mpqopt {
@@ -30,6 +32,7 @@ BackendHealth RpcBackend::health() const {
   health.tasks_rescattered =
       tasks_rescattered_.load(std::memory_order_relaxed);
   health.rounds_recovered = rounds_recovered_.load(std::memory_order_relaxed);
+  FillSessionCounters(&health);
   return health;
 }
 
@@ -75,10 +78,7 @@ StatusOr<RoundResult> RpcBackend::RunRound(
   // total redial budget plus slack.
   const size_t num_workers = supervisor_->num_workers();
   const size_t max_passes =
-      2 + (static_cast<size_t>(
-               std::max(supervisor_->options().max_redials, 0)) +
-           1) *
-              num_workers;
+      RecoveryPassBudget(supervisor_->options().max_redials, num_workers);
   std::vector<char> done(num_tasks, 0);
   std::vector<size_t> pending(num_tasks);
   std::iota(pending.begin(), pending.end(), size_t{0});
@@ -178,6 +178,14 @@ StatusOr<RoundResult> RpcBackend::RunRound(
   return result;
 }
 
+StatusOr<std::unique_ptr<SessionHandle>> RpcBackend::OpenSession(
+    StatefulTaskKind kind,
+    const std::vector<std::vector<uint8_t>>& open_requests) {
+  return RpcSessionHandle::Open(
+      supervisor_.get(), &session_counters_, model_, kind, open_requests,
+      round_offset_.fetch_add(1, std::memory_order_relaxed));
+}
+
 std::vector<std::string> SplitEndpoints(const std::string& comma_separated) {
   std::vector<std::string> endpoints;
   size_t begin = 0;
@@ -193,16 +201,22 @@ std::vector<std::string> SplitEndpoints(const std::string& comma_separated) {
 }
 
 void ServeRpcConnection(Socket socket, RpcServeOptions serve) {
+  // Session replicas opened over this connection; dies with it, so a
+  // master crash or reconnect frees every replica it owned.
+  SessionStore sessions(serve.sessions);
   for (;;) {
     if (serve.stop != nullptr) {
       // Idle-wait in short slices so a shutdown request is noticed
       // between frames; once bytes are pending the request is drained —
       // received, executed, and answered — before the check repeats.
+      // The slices double as the TTL GC heartbeat for abandoned
+      // sessions on an otherwise idle connection.
       for (;;) {
         StatusOr<bool> readable = WaitReadable(socket.fd(), 200);
         if (!readable.ok()) return;
         if (readable.value()) break;
         if (serve.stop->load(std::memory_order_relaxed)) return;
+        sessions.SweepExpired();
       }
     }
     Frame request;
@@ -216,11 +230,35 @@ void ServeRpcConnection(Socket socket, RpcServeOptions serve) {
             1, std::memory_order_relaxed) <= 0) {
       // Chaos axis: crash WITHOUT replying, so the master sees exactly
       // what a mid-round node death looks like. Pings are exempt — the
-      // budget counts task work, and reconnect probes must not skew it.
+      // budget counts task work (session frames included), and reconnect
+      // probes must not skew it.
       std::fprintf(stderr,
                    "mpqopt_worker: --chaos-kill-after budget exhausted, "
                    "crashing without reply\n");
       std::_Exit(42);
+    }
+    if (request.kind >= kSessionFrameKindBase) {
+      // Session-control frame: open/step/close a stateful replica.
+      SessionReply session_reply =
+          sessions.Handle(request.kind, request.payload);
+      if (session_reply.body.size() >
+          kMaxFramePayloadBytes - kRpcReplyHeaderBytes) {
+        session_reply.kind = RpcReplyKind::kTaskError;
+        const std::string msg =
+            "session response of " +
+            std::to_string(session_reply.body.size()) +
+            " bytes exceeds the frame size limit";
+        session_reply.body.assign(msg.begin(), msg.end());
+      }
+      const std::vector<uint8_t> payload = BuildRpcReplyPayload(
+          session_reply.compute_seconds, session_reply.body.data(),
+          session_reply.body.size());
+      if (!SendFrame(socket.fd(), static_cast<uint8_t>(session_reply.kind),
+                     payload)
+               .ok()) {
+        return;
+      }
+      continue;
     }
     const WorkerTask task =
         TaskForKind(static_cast<RpcTaskKind>(request.kind));

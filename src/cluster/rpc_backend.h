@@ -17,6 +17,11 @@
 //                   then response bytes or status text
 //                   (see cluster/rpc_protocol.h)
 //
+// Frame kinds at or above kSessionFrameKindBase are session-control
+// frames of the stateful-worker protocol (cluster/session/): the serve
+// loop routes them into a per-connection SessionStore, and OpenSession
+// returns a wire-backed SessionHandle with reconnect + replay recovery.
+//
 // Failure handling is SELF-HEALING, not fail-fast: connection lifecycle
 // and worker health live in a WorkerSupervisor
 // (cluster/supervisor/worker_supervisor.h), which redials failed workers
@@ -48,6 +53,7 @@
 
 #include "cluster/backend.h"
 #include "cluster/rpc_protocol.h"
+#include "cluster/session/session_store.h"
 #include "cluster/supervisor/worker_supervisor.h"
 #include "net/frame_transport.h"
 
@@ -66,6 +72,13 @@ class RpcBackend : public ExecutionBackend {
   StatusOr<RoundResult> RunRound(
       const std::vector<WorkerTask>& tasks,
       const std::vector<std::vector<uint8_t>>& requests) override;
+
+  /// Stateful sessions over the wire: replicas live in remote
+  /// mpqopt_worker processes, with reconnect + replay recovery (see
+  /// cluster/session/rpc_session.h).
+  StatusOr<std::unique_ptr<SessionHandle>> OpenSession(
+      StatefulTaskKind kind,
+      const std::vector<std::vector<uint8_t>>& open_requests) override;
 
   const char* name() const override { return "rpc"; }
 
@@ -105,6 +118,9 @@ struct RpcServeOptions {
   /// zero the process exits abruptly WITHOUT replying — a deterministic
   /// mid-round crash for the failover tests.
   std::atomic<int64_t>* chaos_tasks_remaining = nullptr;
+  /// Session-store knobs of this worker (TTL GC, per-session byte cap);
+  /// every connection gets its own store built from these.
+  SessionStoreOptions sessions;
 };
 
 /// Worker-server side: serves framed task requests on one established

@@ -26,9 +26,14 @@
 namespace mpqopt {
 
 /// Reply-frame tags (the `kind` byte of frames flowing worker -> master).
+/// kTaskError is DETERMINISTIC (the same request would fail anywhere, so
+/// it is never retried); kSessionError means the referenced session
+/// replica is GONE on this worker (unknown or TTL-expired id — see
+/// cluster/session/) and the master may rebuild it by re-open + replay.
 enum class RpcReplyKind : uint8_t {
   kOk = 0,
   kTaskError = 1,
+  kSessionError = 2,
 };
 
 /// Bytes of the compute-seconds header that precedes every reply body.

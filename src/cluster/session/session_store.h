@@ -1,0 +1,97 @@
+// Copyright 2026 mpqopt authors.
+//
+// SessionStore — the worker side of the session protocol: the replicas
+// one connection's master has opened, keyed by session id.
+//
+// Scoping: one store per CONNECTION, not per process. A session id is
+// chosen by the master, so two masters sharing a worker could collide on
+// ids; per-connection scoping makes that impossible, and it gives leak
+// handling the right default — when the connection drops (master crash,
+// supervisor reconnect, network cut) every replica it owned is freed
+// with the serving thread. Two further guards bound the memory of a
+// LIVE connection:
+//
+//  * TTL GC: a replica untouched for ttl_ms is reclaimed (swept lazily
+//    on every session frame and from the serving loop's idle slices).
+//    A master stepping an expired session gets kSessionError and may
+//    rebuild it by re-open + replay.
+//  * Per-session byte cap: after open and after every step the replica's
+//    ApproxBytes() is checked against max_session_bytes; exceeding it
+//    drops the replica and fails the step DETERMINISTICALLY
+//    (kTaskError — a replay would exceed the cap again).
+//
+// Thread safety: none needed — a store belongs to exactly one serving
+// thread (frames on one connection are handled strictly in order).
+
+#ifndef MPQOPT_CLUSTER_SESSION_SESSION_STORE_H_
+#define MPQOPT_CLUSTER_SESSION_SESSION_STORE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/rpc_protocol.h"
+#include "cluster/session/stateful_task.h"
+#include "common/macros.h"
+
+namespace mpqopt {
+
+/// Worker-side session knobs (mpqopt_worker: --session-ttl-ms,
+/// --session-max-bytes).
+struct SessionStoreOptions {
+  /// Reclaim a replica untouched for this long. <= 0 disables TTL GC
+  /// (connection teardown still frees everything).
+  int ttl_ms = 15 * 60 * 1000;
+  /// Hard cap on one replica's ApproxBytes(); exceeding it drops the
+  /// replica and fails the offending open/step deterministically.
+  uint64_t max_session_bytes = uint64_t{256} << 20;
+};
+
+/// Outcome of handling one session frame; the serving loop turns this
+/// into a standard reply frame (compute-seconds header + body).
+struct SessionReply {
+  RpcReplyKind kind = RpcReplyKind::kOk;
+  std::vector<uint8_t> body;  ///< response bytes (kOk) or status text
+  double compute_seconds = 0;
+};
+
+class SessionStore {
+ public:
+  explicit SessionStore(SessionStoreOptions options) : options_(options) {}
+  MPQOPT_DISALLOW_COPY_AND_ASSIGN(SessionStore);
+
+  /// Handles one session frame (frame_kind is one of the
+  /// kSession*Frame kinds of session_wire.h; payload is the raw frame
+  /// payload). Never throws or aborts on malformed input — a corrupt
+  /// frame yields a kTaskError reply.
+  SessionReply Handle(uint8_t frame_kind,
+                      const std::vector<uint8_t>& payload);
+
+  /// Reclaims every replica whose TTL expired; called lazily from
+  /// Handle and from the serving loop's idle slices.
+  void SweepExpired();
+
+  size_t size() const { return sessions_.size(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Entry {
+    std::unique_ptr<SessionState> state;
+    const StatefulTaskVtable* vtable = nullptr;
+    Clock::time_point last_used;
+  };
+
+  SessionReply HandleOpen(const std::vector<uint8_t>& payload);
+  SessionReply HandleStep(const std::vector<uint8_t>& payload);
+  SessionReply HandleClose(const std::vector<uint8_t>& payload);
+
+  SessionStoreOptions options_;
+  std::unordered_map<uint64_t, Entry> sessions_;
+};
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_CLUSTER_SESSION_SESSION_STORE_H_

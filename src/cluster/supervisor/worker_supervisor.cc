@@ -193,6 +193,16 @@ Status WorkerSupervisor::Exchange(size_t w, uint8_t task_kind,
         std::string(reply.payload.begin() + kRpcReplyHeaderBytes,
                     reply.payload.end()));
   }
+  if (reply.kind == static_cast<uint8_t>(RpcReplyKind::kSessionError)) {
+    // The referenced session replica is gone on this worker (unknown or
+    // TTL-expired id). The connection itself is healthy; the session
+    // layer recovers by re-open + replay on kNotFound.
+    *worker_failed = false;
+    return Status::NotFound(
+        "rpc worker " + worker->endpoint + " lost the session: " +
+        std::string(reply.payload.begin() + kRpcReplyHeaderBytes,
+                    reply.payload.end()));
+  }
   if (reply.kind != static_cast<uint8_t>(RpcReplyKind::kOk)) {
     s = Status::Corruption("rpc worker " + worker->endpoint +
                            " sent an unknown reply kind " +

@@ -68,6 +68,18 @@ struct SupervisorOptions {
   int backoff_max_ms = 2000;
 };
 
+/// Upper bound on the recovery attempts a round (or a session node) gets
+/// before giving up: a pathological worker that keeps accepting and then
+/// dying must not livelock a caller. The pool's total redial budget is
+/// (max_redials + 1) dials per worker; two passes of slack cover the
+/// initial scatter and a final all-healthy retry. Exposed as a free
+/// function so the arithmetic is unit-testable without sockets.
+inline size_t RecoveryPassBudget(int max_redials, size_t num_workers) {
+  return 2 +
+         (static_cast<size_t>(max_redials > 0 ? max_redials : 0) + 1) *
+             num_workers;
+}
+
 /// Owns the worker endpoints, their connections, and their health.
 class WorkerSupervisor {
  public:
@@ -86,7 +98,11 @@ class WorkerSupervisor {
   /// SUSPECT (`*worker_failed` = true) and the task may be re-scattered;
   /// a clean task-error reply leaves the worker HEALTHY
   /// (`*worker_failed` = false) — the failure is the task's own and
-  /// deterministic, so retrying it elsewhere would fail again.
+  /// deterministic, so retrying it elsewhere would fail again. A
+  /// session-error reply (the referenced replica is gone; see
+  /// cluster/session/) also leaves the worker HEALTHY and surfaces as
+  /// StatusCode::kNotFound, which the session layer treats as
+  /// recoverable by re-open + replay.
   Status Exchange(size_t w, uint8_t task_kind,
                   const std::vector<uint8_t>& request,
                   std::vector<uint8_t>* response, double* compute_seconds,

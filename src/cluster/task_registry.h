@@ -10,8 +10,9 @@
 // request bytes to response bytes can be registered — exactly the wire
 // contract MpqOptimizer::WorkerMain and HeteroMpqOptimizer::WorkerMain
 // already satisfy. (SMA's per-node tasks close over the node's memo
-// replica and are deliberately NOT registrable; a stateful worker needs a
-// session protocol, not a bigger registry.)
+// replica and are deliberately NOT registrable here; stateful workers
+// have their own registry of open/step/close triples and a session
+// protocol — see cluster/session/stateful_task.h.)
 //
 // The registry also carries tiny diagnostic kinds (echo, fail,
 // sleep-echo, ping) so the cross-backend conformance suite and the

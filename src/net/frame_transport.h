@@ -67,6 +67,14 @@ struct Frame {
 /// a corrupted length prefix must not become a 2^60-byte allocation.
 constexpr uint64_t kMaxFramePayloadBytes = uint64_t{1} << 30;
 
+/// The frame kind byte is split into two application namespaces: kinds
+/// below this base are stateless task tags (cluster/task_registry.h,
+/// RpcTaskKind), kinds at or above it are session-control frames of the
+/// stateful-worker protocol (cluster/session/session_wire.h). The
+/// transport itself never interprets the kind byte; the split only keeps
+/// the two dispatch tables collision-free on one connection.
+constexpr uint8_t kSessionFrameKindBase = 0x80;
+
 /// Sends one frame, looping over partial writes. Never raises SIGPIPE; a
 /// broken connection returns kInternal.
 Status SendFrame(int fd, uint8_t kind, const std::vector<uint8_t>& payload);

@@ -220,6 +220,10 @@ ServiceStats OptimizerService::stats() const {
     snapshot.worker_reconnects = health.reconnects;
     snapshot.tasks_rescattered = health.tasks_rescattered;
     snapshot.rounds_recovered = health.rounds_recovered;
+    snapshot.sessions_opened = health.sessions.sessions_opened;
+    snapshot.session_rounds = health.sessions.session_rounds;
+    snapshot.sessions_recovered = health.sessions.sessions_recovered;
+    snapshot.sessions_failed = health.sessions.sessions_failed;
     snapshot.workers = std::move(health.workers);
   }
   return snapshot;

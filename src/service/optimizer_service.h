@@ -105,6 +105,14 @@ struct ServiceStats {
   /// at least one recovery pass:
   uint64_t tasks_rescattered = 0;
   uint64_t rounds_recovered = 0;
+  /// Stateful-session activity on the shared backend (cluster/session/):
+  /// session groups opened, stateful rounds run, replicas rebuilt by
+  /// re-open + replay, and sessions that ended in an unrecoverable
+  /// error. All-zero unless session-based work (e.g. SMA) ran.
+  uint64_t sessions_opened = 0;
+  uint64_t session_rounds = 0;
+  uint64_t sessions_recovered = 0;
+  uint64_t sessions_failed = 0;
   /// Per-worker endpoint, health state, and failure counters.
   std::vector<WorkerHealthSnapshot> workers;
 };

@@ -2,18 +2,18 @@
 
 #include "sma/sma.h"
 
+#include <bit>
 #include <chrono>
-#include <limits>
+#include <memory>
+#include <utility>
 
+#include "cluster/session/session.h"
+#include "cluster/session/stateful_task.h"
 #include "common/serialize.h"
-#include "cost/cardinality.h"
-#include "cost/cost_model.h"
-#include "optimizer/pruning.h"
+#include "sma/sma_node.h"
 
 namespace mpqopt {
 namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
 
 using Clock = std::chrono::steady_clock;
 
@@ -21,256 +21,18 @@ double Seconds(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
-/// Single-objective memo entry of one SMA node.
-struct Entry {
-  double cost = kInf;
-  double card = 0;
-  uint64_t left_bits = 0;
-  JoinAlgorithm alg = JoinAlgorithm::kScan;
-};
-
-/// One plan of a multi-objective frontier.
-struct MoPlan {
-  CostVector cost;
-  uint64_t left_bits = 0;
-  uint32_t left_idx = 0;
-  uint32_t right_idx = 0;
-  JoinAlgorithm alg = JoinAlgorithm::kScan;
-};
-
-/// Multi-objective memo entry of one SMA node.
-struct MoEntry {
-  double card = 0;
-  std::vector<MoPlan> plans;
-};
-
-/// One simulated shared-nothing node running SMA worker code. Every node
-/// materializes the FULL memotable (this is the crux of the baseline: the
-/// shared-memory algorithm's common data structure must be replicated),
-/// and the master keeps the replicas consistent by broadcasting each
-/// level's entries.
-class SmaNode {
- public:
-  SmaNode(const Query& query, const SmaOptions& options)
-      : query_(query),
-        options_(options),
-        model_(options.objective, options.cost_options),
-        estimator_(query),
-        n_(query.num_tables()) {
-    const size_t slots = size_t{1} << n_;
-    if (Scalar()) {
-      memo_.assign(slots, Entry());
-    } else {
-      mo_memo_.assign(slots, MoEntry());
-    }
-    for (int t = 0; t < n_; ++t) {
-      const double card = query.table(t).cardinality;
-      const uint64_t bits = uint64_t{1} << t;
-      if (Scalar()) {
-        memo_[bits] = {model_.ScanCost(card).time(), card, 0,
-                       JoinAlgorithm::kScan};
-      } else {
-        MoEntry& e = mo_memo_[bits];
-        e.card = card;
-        e.plans.push_back(
-            {model_.ScanCost(card), 0, 0, 0, JoinAlgorithm::kScan});
-      }
-    }
-  }
-
-  bool Scalar() const { return options_.objective == Objective::kTime; }
-
-  /// Computes the optimal plan(s) for every set in `assignment`
-  /// (count-prefixed u64 bit patterns) and returns the serialized entries.
-  StatusOr<std::vector<uint8_t>> ComputeChunk(
-      const std::vector<uint8_t>& assignment) {
-    ByteReader reader(assignment);
-    uint32_t count = 0;
-    Status s = reader.ReadU32(&count);
-    if (!s.ok()) return s;
-    ByteWriter writer;
-    writer.WriteU32(count);
-    for (uint32_t i = 0; i < count; ++i) {
-      uint64_t bits = 0;
-      if (!(s = reader.ReadU64(&bits)).ok()) return s;
-      if (Scalar()) {
-        const Entry e = ComputeScalar(TableSet(bits));
-        writer.WriteU64(bits);
-        writer.WriteU8(static_cast<uint8_t>(e.alg));
-        writer.WriteU64(e.left_bits);
-        writer.WriteDouble(e.card);
-        writer.WriteDouble(e.cost);
-      } else {
-        const MoEntry e = ComputeMo(TableSet(bits));
-        writer.WriteU64(bits);
-        writer.WriteDouble(e.card);
-        writer.WriteU32(static_cast<uint32_t>(e.plans.size()));
-        for (const MoPlan& p : e.plans) {
-          p.cost.Serialize(&writer);
-          writer.WriteU64(p.left_bits);
-          writer.WriteU32(p.left_idx);
-          writer.WriteU32(p.right_idx);
-          writer.WriteU8(static_cast<uint8_t>(p.alg));
-        }
-      }
-    }
-    return writer.Release();
-  }
-
-  /// Installs a level's broadcast entries into the local memo replica.
-  Status ApplyBroadcast(const std::vector<uint8_t>& payload) {
-    ByteReader reader(payload);
-    while (!reader.AtEnd()) {
-      uint32_t count = 0;
-      Status s = reader.ReadU32(&count);
-      if (!s.ok()) return s;
-      for (uint32_t i = 0; i < count; ++i) {
-        uint64_t bits = 0;
-        if (!(s = reader.ReadU64(&bits)).ok()) return s;
-        if (bits >= (uint64_t{1} << n_)) {
-          return Status::Corruption("broadcast set out of range");
-        }
-        if (Scalar()) {
-          Entry e;
-          uint8_t alg = 0;
-          if (!(s = reader.ReadU8(&alg)).ok()) return s;
-          if (!(s = reader.ReadU64(&e.left_bits)).ok()) return s;
-          if (!(s = reader.ReadDouble(&e.card)).ok()) return s;
-          if (!(s = reader.ReadDouble(&e.cost)).ok()) return s;
-          e.alg = static_cast<JoinAlgorithm>(alg);
-          memo_[bits] = e;
-        } else {
-          MoEntry e;
-          uint32_t num_plans = 0;
-          if (!(s = reader.ReadDouble(&e.card)).ok()) return s;
-          if (!(s = reader.ReadU32(&num_plans)).ok()) return s;
-          e.plans.resize(num_plans);
-          for (MoPlan& p : e.plans) {
-            StatusOr<CostVector> cost = CostVector::Deserialize(&reader);
-            if (!cost.ok()) return cost.status();
-            p.cost = cost.value();
-            uint8_t alg = 0;
-            if (!(s = reader.ReadU64(&p.left_bits)).ok()) return s;
-            if (!(s = reader.ReadU32(&p.left_idx)).ok()) return s;
-            if (!(s = reader.ReadU32(&p.right_idx)).ok()) return s;
-            if (!(s = reader.ReadU8(&alg)).ok()) return s;
-            p.alg = static_cast<JoinAlgorithm>(alg);
-          }
-          mo_memo_[bits] = std::move(e);
-        }
-      }
-    }
-    return Status::OK();
-  }
-
-  /// Materializes the best plan for `s` (scalar mode).
-  PlanId Build(TableSet s, PlanArena* arena) const {
-    const Entry& e = memo_[s.bits()];
-    if (s.Count() == 1) {
-      return arena->MakeScan(s.Lowest(), e.card, CostVector::Scalar(e.cost));
-    }
-    const TableSet left(e.left_bits);
-    const PlanId lid = Build(left, arena);
-    const PlanId rid = Build(s.Minus(left), arena);
-    return arena->MakeJoin(e.alg, lid, rid, e.card, CostVector::Scalar(e.cost));
-  }
-
-  size_t FrontierSize(TableSet s) const { return mo_memo_[s.bits()].plans.size(); }
-
-  /// Materializes frontier plan `idx` for `s` (multi-objective mode).
-  PlanId BuildMo(TableSet s, uint32_t idx, PlanArena* arena) const {
-    const MoEntry& e = mo_memo_[s.bits()];
-    const MoPlan& p = e.plans[idx];
-    if (s.Count() == 1) {
-      return arena->MakeScan(s.Lowest(), e.card, p.cost);
-    }
-    const TableSet left(p.left_bits);
-    const PlanId lid = BuildMo(left, p.left_idx, arena);
-    const PlanId rid = BuildMo(s.Minus(left), p.right_idx, arena);
-    return arena->MakeJoin(p.alg, lid, rid, e.card, p.cost);
-  }
-
- private:
-  Entry ComputeScalar(TableSet u) const {
-    Entry best;
-    best.card = estimator_.Cardinality(u);
-    const auto consider = [&](TableSet left, TableSet right) {
-      const Entry& le = memo_[left.bits()];
-      const Entry& re = memo_[right.bits()];
-      MPQOPT_DCHECK(le.cost < kInf && re.cost < kInf);
-      const double base = le.cost + re.cost;
-      for (JoinAlgorithm alg : kJoinAlgorithms) {
-        const double cost =
-            base + model_.LocalJoinTime(alg, le.card, re.card, best.card);
-        if (cost < best.cost) {
-          best.cost = cost;
-          best.left_bits = left.bits();
-          best.alg = alg;
-        }
-      }
-    };
-    if (options_.space == PlanSpace::kLinear) {
-      for (int t : u) consider(u.Without(t), TableSet::Single(t));
-    } else {
-      SubsetEnumerator subsets(u);
-      while (subsets.Next()) {
-        consider(subsets.current(), u.Minus(subsets.current()));
-      }
-    }
-    MPQOPT_CHECK(best.cost < kInf);
-    return best;
-  }
-
-  MoEntry ComputeMo(TableSet u) const {
-    MoEntry entry;
-    entry.card = estimator_.Cardinality(u);
-    const auto cost_of = [](const MoPlan& p) -> const CostVector& {
-      return p.cost;
-    };
-    const auto consider = [&](TableSet left, TableSet right) {
-      const MoEntry& le = mo_memo_[left.bits()];
-      const MoEntry& re = mo_memo_[right.bits()];
-      for (uint32_t li = 0; li < le.plans.size(); ++li) {
-        for (uint32_t ri = 0; ri < re.plans.size(); ++ri) {
-          for (JoinAlgorithm alg : kJoinAlgorithms) {
-            MoPlan cand;
-            cand.cost =
-                model_.JoinCost(alg, le.plans[li].cost, re.plans[ri].cost,
-                                le.card, re.card, entry.card);
-            cand.left_bits = left.bits();
-            cand.left_idx = li;
-            cand.right_idx = ri;
-            cand.alg = alg;
-            ParetoInsert(&entry.plans, cand, cost_of, options_.alpha);
-          }
-        }
-      }
-    };
-    if (options_.space == PlanSpace::kLinear) {
-      for (int t : u) consider(u.Without(t), TableSet::Single(t));
-    } else {
-      SubsetEnumerator subsets(u);
-      while (subsets.Next()) {
-        consider(subsets.current(), u.Minus(subsets.current()));
-      }
-    }
-    MPQOPT_CHECK(!entry.plans.empty());
-    return entry;
-  }
-
-  const Query& query_;
-  const SmaOptions& options_;
-  CostModel model_;
-  CardinalityEstimator estimator_;
-  int n_;
-  std::vector<Entry> memo_;
-  std::vector<MoEntry> mo_memo_;
-};
-
 /// Next k-combination of bits (Gosper's hack).
 uint64_t NextCombination(uint64_t v) {
   const uint64_t t = v | (v - 1);
   return (t + 1) | (((~t & -(~t)) - 1) >> (std::countr_zero(v) + 1));
+}
+
+double MaxOf(const std::vector<double>& values) {
+  double max = 0;
+  for (double v : values) {
+    if (v > max) max = v;
+  }
+  return max;
 }
 
 }  // namespace
@@ -299,43 +61,43 @@ StatusOr<SmaResult> SmaOptimize(const Query& query, const SmaOptions& options) {
 
   const auto total_start = Clock::now();
 
-  // Round 0: ship the query (with statistics) to every worker node.
-  ByteWriter query_writer;
-  query.Serialize(&query_writer);
-  const uint64_t query_bytes = query_writer.size();
+  // Round 0: ship the query (with statistics and the plan-affecting
+  // options) to every worker node — the session open request each
+  // replica is built from.
+  SmaNodeOptions node_options;
+  node_options.space = options.space;
+  node_options.objective = options.objective;
+  node_options.alpha = options.alpha;
+  node_options.cost_options = options.cost_options;
+  const std::vector<uint8_t> open_request =
+      SmaNode::BuildOpenRequest(query, node_options);
   for (uint64_t i = 0; i < m; ++i) {
-    result.network_bytes += query_bytes;
+    result.network_bytes += open_request.size();
     ++result.network_messages;
   }
-  result.simulated_seconds +=
-      static_cast<double>(m) * net.task_setup_s + net.TransferTime(query_bytes);
+  result.simulated_seconds += static_cast<double>(m) * net.task_setup_s +
+                              net.TransferTime(open_request.size());
 
-  // Worker node replicas; node_seconds accumulates per-node compute.
-  std::vector<SmaNode> nodes;
-  nodes.reserve(m);
-  for (uint64_t i = 0; i < m; ++i) nodes.emplace_back(query, options);
-  SmaNode master_replica(query, options);
+  // The worker replicas live wherever the backend hosts sessions: in
+  // this process for the in-process backends (the replica state stays in
+  // the task closures, as before), in remote mpqopt_worker processes for
+  // the rpc backend (cluster/session/). The master additionally keeps
+  // its own replica — it applies every broadcast locally and the final
+  // plan is extracted from it, so extraction never crosses the wire.
+  StatusOr<std::unique_ptr<SessionHandle>> session_or = backend->OpenSession(
+      StatefulTaskKind::kSmaNode,
+      std::vector<std::vector<uint8_t>>(m, open_request));
+  if (!session_or.ok()) return session_or.status();
+  std::unique_ptr<SessionHandle> session = std::move(session_or).value();
+  SmaNode master_replica(query, node_options);
   std::vector<double> node_seconds(m, 0.0);
-
-  // Per-level chunk computation runs through the pluggable backend: node
-  // i's ComputeChunk is exposed as a worker task (request = assignment
-  // bytes, response = serialized entries). ComputeChunk only reads the
-  // node's memo replica — state changes happen in ApplyBroadcast on the
-  // master side — so every backend, including process isolation, yields
-  // identical results.
-  std::vector<WorkerTask> tasks;
-  tasks.reserve(m);
-  for (uint64_t i = 0; i < m; ++i) {
-    tasks.push_back([&nodes, i](const std::vector<uint8_t>& assignment) {
-      return nodes[i].ComputeChunk(assignment);
-    });
-  }
 
   if (n >= 2) {
     for (int k = 2; k <= n; ++k) {
       ++result.rounds;
-      // Master: enumerate the level's table sets and deal them round-robin.
-      std::vector<std::vector<uint8_t>> assignments(m);
+      // Master: enumerate the level's table sets and deal them
+      // round-robin into per-node compute-chunk step requests.
+      std::vector<std::vector<uint8_t>> step_requests(m);
       {
         std::vector<std::vector<uint64_t>> chunks(m);
         uint64_t v = (uint64_t{1} << k) - 1;
@@ -348,20 +110,20 @@ StatusOr<SmaResult> SmaOptimize(const Query& query, const SmaOptions& options) {
         }
         for (uint64_t i = 0; i < m; ++i) {
           ByteWriter writer;
+          writer.WriteU8(kSmaComputeChunkOp);
           writer.WriteU32(static_cast<uint32_t>(chunks[i].size()));
           for (uint64_t bits : chunks[i]) writer.WriteU64(bits);
-          assignments[i] = writer.Release();
+          step_requests[i] = writer.Release();
         }
       }
 
-      // Workers compute their chunks through the backend (one round per
-      // level — SMA's defining many-rounds-per-query behaviour); per-task
-      // compute is measured individually, transfers are modeled from the
-      // true byte counts by the backend's shared accounting.
-      StatusOr<RoundResult> round_or = backend->RunRound(tasks, assignments);
+      // Workers compute their chunks against their replicas (one session
+      // round per level — SMA's defining many-rounds-per-query
+      // behaviour); per-node compute is measured individually, transfers
+      // are modeled from the true byte counts by the shared accounting.
+      StatusOr<RoundResult> round_or = session->Step(step_requests);
       if (!round_or.ok()) return round_or.status();
       RoundResult& round = round_or.value();
-      std::vector<std::vector<uint8_t>>& responses = round.responses;
       for (uint64_t i = 0; i < m; ++i) {
         node_seconds[i] += round.compute_seconds[i];
       }
@@ -370,34 +132,35 @@ StatusOr<SmaResult> SmaOptimize(const Query& query, const SmaOptions& options) {
 
       // Master: concatenate the level's entries and broadcast to all
       // workers — the shared memotable emulated over the network.
-      std::vector<uint8_t> broadcast;
-      for (const auto& r : responses) {
+      ByteWriter broadcast_writer;
+      broadcast_writer.WriteU8(kSmaApplyBroadcastOp);
+      std::vector<uint8_t> broadcast = broadcast_writer.Release();
+      for (const auto& r : round.responses) {
         broadcast.insert(broadcast.end(), r.begin(), r.end());
       }
-      double max_apply = 0;
+      StatusOr<RoundResult> bcast_or = session->Broadcast(broadcast);
+      if (!bcast_or.ok()) return bcast_or.status();
+      const RoundResult& bcast = bcast_or.value();
       for (uint64_t i = 0; i < m; ++i) {
-        const auto start = Clock::now();
-        Status s = nodes[i].ApplyBroadcast(broadcast);
-        const auto end = Clock::now();
-        if (!s.ok()) return s;
-        const double apply = Seconds(start, end);
-        node_seconds[i] += apply;
-        if (apply > max_apply) max_apply = apply;
-        result.network_bytes += broadcast.size();
-        ++result.network_messages;
+        node_seconds[i] += bcast.compute_seconds[i];
       }
-      Status s = master_replica.ApplyBroadcast(broadcast);
+      result.network_bytes += bcast.traffic.bytes_sent;
+      result.network_messages += bcast.traffic.messages;
+      Status s = master_replica.ApplyBroadcast(broadcast.data() + 1,
+                                               broadcast.size() - 1);
       if (!s.ok()) return s;
 
       // Level completion: per-task dispatch + slowest compute path (both
       // in round.simulated_seconds) + the master pushing m broadcast
-      // copies through its link + apply.
+      // copies through its ONE uplink — serialized, the baseline's
+      // bottleneck — + the slowest apply.
       result.simulated_seconds +=
           round.simulated_seconds +
           static_cast<double>(m) * net.TransferTime(broadcast.size()) +
-          max_apply;
+          MaxOf(bcast.compute_seconds);
     }
   }
+  session->Close();
 
   // Extract the final plan(s) from the master's replica.
   const auto extract_start = Clock::now();
@@ -414,9 +177,7 @@ StatusOr<SmaResult> SmaOptimize(const Query& query, const SmaOptions& options) {
   result.master_seconds = Seconds(extract_start, total_end);
   result.simulated_seconds += result.master_seconds;
   result.wall_seconds = Seconds(total_start, total_end);
-  for (double sec : node_seconds) {
-    if (sec > result.max_worker_seconds) result.max_worker_seconds = sec;
-  }
+  result.max_worker_seconds = MaxOf(node_seconds);
   return result;
 }
 

@@ -19,6 +19,16 @@
 //
 // All inter-node transfers go through real byte serialization, so the
 // reported network bytes are actual payload sizes, as for MPQ.
+//
+// The per-node memo replicas are STATEFUL, so SMA runs through the
+// session protocol (cluster/session/) rather than plain stateless
+// rounds: the backend opens one StatefulTaskKind::kSmaNode replica per
+// worker, each level is one scatter Step (compute chunks, pure reads)
+// followed by one Broadcast (apply the level's entries — the mutating,
+// replayable state transition). In-process backends keep the replicas in
+// this process; the rpc backend hosts them in remote mpqopt_worker
+// processes with reconnect + replay recovery. Plan cost, rounds, and
+// network bytes are identical on every backend (tests/sma_test.cc).
 
 #ifndef MPQOPT_SMA_SMA_H_
 #define MPQOPT_SMA_SMA_H_
@@ -45,10 +55,11 @@ struct SmaOptions {
   /// of two, tasks are dealt round-robin).
   uint64_t num_workers = 1;
   NetworkModel network;
-  /// Worker-execution runtime for the per-level chunk computations. Null
-  /// (default) uses a private single-threaded ThreadBackend so per-chunk
-  /// compute timing stays unpolluted; a non-null backend's NetworkModel
-  /// governs the simulated transfer times.
+  /// Worker-execution runtime hosting the per-node replicas (any
+  /// session-capable backend, including rpc). Null (default) uses a
+  /// private single-threaded ThreadBackend so per-chunk compute timing
+  /// stays unpolluted; a non-null backend's NetworkModel governs the
+  /// simulated transfer times.
   std::shared_ptr<ExecutionBackend> backend;
   CostModelOptions cost_options;
   /// SMA materializes the full memo on every worker; refuse queries whose

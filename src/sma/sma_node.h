@@ -1,0 +1,150 @@
+// Copyright 2026 mpqopt authors.
+//
+// SmaNode — one SMA worker replica: the FULL memotable of one simulated
+// shared-nothing node (the crux of the baseline: the shared-memory
+// algorithm's common data structure must be replicated per node), plus
+// the per-level worker computation over it.
+//
+// Extracted from sma.cc so the replica can live as remote session state:
+// the stateful-task registry (cluster/session/stateful_task.h) registers
+// SmaNode as StatefulTaskKind::kSmaNode, which lets a session-capable
+// backend — including RpcBackend over real sockets — host the replicas
+// in worker processes. The node therefore OWNS its query and options
+// (it is reconstructed on a remote worker from the serialized open
+// request) and speaks a tiny self-describing step protocol:
+//
+//   open request   serialized query + SmaNodeOptions
+//                  (BuildOpenRequest / FromOpenRequest)
+//   step request   u8 op, then the op's body (HandleStep):
+//                    kSmaComputeChunkOp   count-prefixed u64 table-set
+//                                         bit patterns -> serialized
+//                                         optimal entries (pure read of
+//                                         the replica)
+//                    kSmaApplyBroadcastOp a level's concatenated entries
+//                                         -> empty (the one mutating,
+//                                         deterministic state transition
+//                                         — replayable for recovery)
+
+#ifndef MPQOPT_SMA_SMA_NODE_H_
+#define MPQOPT_SMA_SMA_NODE_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "catalog/query.h"
+#include "common/macros.h"
+#include "common/status.h"
+#include "cost/cardinality.h"
+#include "cost/cost_model.h"
+#include "cost/cost_vector.h"
+#include "optimizer/dp.h"
+#include "plan/plan.h"
+
+namespace mpqopt {
+
+/// The plan-affecting knobs a replica needs; the execution knobs of
+/// SmaOptions (backend, num_workers, network) deliberately stay master-
+/// side so every node's open request is identical and tiny.
+struct SmaNodeOptions {
+  PlanSpace space = PlanSpace::kLinear;
+  Objective objective = Objective::kTime;
+  double alpha = 10.0;
+  CostModelOptions cost_options;
+};
+
+/// Step-request op tags (first byte of every HandleStep request).
+constexpr uint8_t kSmaComputeChunkOp = 0;
+constexpr uint8_t kSmaApplyBroadcastOp = 1;
+
+/// One simulated shared-nothing node running SMA worker code.
+class SmaNode {
+ public:
+  /// Constructs the replica directly (master replica / in-process use).
+  SmaNode(Query query, const SmaNodeOptions& options);
+  MPQOPT_DISALLOW_COPY_AND_ASSIGN(SmaNode);
+
+  /// Serialized (query, options) — the session open request every node
+  /// is reconstructed from.
+  static std::vector<uint8_t> BuildOpenRequest(const Query& query,
+                                               const SmaNodeOptions& options);
+
+  /// Reconstructs a replica from an open request (worker side).
+  static StatusOr<std::unique_ptr<SmaNode>> FromOpenRequest(
+      const std::vector<uint8_t>& request);
+
+  /// Dispatches one step request by its op byte (see header comment).
+  StatusOr<std::vector<uint8_t>> HandleStep(
+      const std::vector<uint8_t>& request);
+
+  /// Computes the optimal plan(s) for every set in `assignment`
+  /// (count-prefixed u64 bit patterns) and returns the serialized
+  /// entries. Pure: only reads the memo replica.
+  StatusOr<std::vector<uint8_t>> ComputeChunk(const uint8_t* data,
+                                              size_t size);
+
+  /// Installs a level's broadcast entries into the local memo replica —
+  /// the one mutating, deterministic state transition.
+  Status ApplyBroadcast(const uint8_t* data, size_t size);
+  Status ApplyBroadcast(const std::vector<uint8_t>& payload) {
+    return ApplyBroadcast(payload.data(), payload.size());
+  }
+
+  bool Scalar() const { return options_.objective == Objective::kTime; }
+
+  /// Approximate heap footprint of the replica (memo slots + frontier
+  /// plans); the worker-side per-session byte cap compares against this.
+  size_t ApproxBytes() const;
+
+  /// Materializes the best plan for `s` (scalar mode).
+  PlanId Build(TableSet s, PlanArena* arena) const;
+
+  size_t FrontierSize(TableSet s) const;
+
+  /// Materializes frontier plan `idx` for `s` (multi-objective mode).
+  PlanId BuildMo(TableSet s, uint32_t idx, PlanArena* arena) const;
+
+ private:
+  /// Single-objective memo entry.
+  struct Entry {
+    double cost = std::numeric_limits<double>::infinity();
+    double card = 0;
+    uint64_t left_bits = 0;
+    JoinAlgorithm alg = JoinAlgorithm::kScan;
+  };
+
+  /// One plan of a multi-objective frontier.
+  struct MoPlan {
+    CostVector cost;
+    uint64_t left_bits = 0;
+    uint32_t left_idx = 0;
+    uint32_t right_idx = 0;
+    JoinAlgorithm alg = JoinAlgorithm::kScan;
+  };
+
+  /// Multi-objective memo entry.
+  struct MoEntry {
+    double card = 0;
+    std::vector<MoPlan> plans;
+  };
+
+  /// Optimal entry for `u` from the replica's lower levels. Fails with
+  /// Corruption (instead of aborting) when required sub-plans are not in
+  /// the replica yet — a remote master stepping levels out of order must
+  /// fail its own step, never the worker process.
+  StatusOr<Entry> ComputeScalar(TableSet u) const;
+  StatusOr<MoEntry> ComputeMo(TableSet u) const;
+
+  const Query query_;  ///< owned: the replica outlives the master's call
+  const SmaNodeOptions options_;
+  CostModel model_;
+  CardinalityEstimator estimator_;  ///< references query_ (member order!)
+  int n_;
+  std::vector<Entry> memo_;
+  std::vector<MoEntry> mo_memo_;
+};
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_SMA_SMA_NODE_H_

@@ -176,14 +176,11 @@ TEST_P(BackendTest, MpqOptimizeMatchesDefaultBackend) {
 }
 
 TEST_P(BackendTest, SmaRunsOnEveryBackend) {
-  // SMA's per-level chunk computation goes through the backend too; the
-  // result and byte counts must not depend on the hosting choice.
-  if (GetParam() == BackendKind::kRpc) {
-    GTEST_SKIP() << "SMA worker tasks close over per-node memo replicas "
-                    "(the emulated shared memotable) and cannot be shipped "
-                    "to stateless remote workers; see "
-                    "cluster/task_registry.h";
-  }
+  // SMA's per-level computation runs through the session protocol
+  // (cluster/session/), so its per-node memo replicas follow the
+  // backend: in-process state for the local kinds, remote replicas in
+  // mpqopt_worker processes for rpc — no skip, the result and byte
+  // counts must not depend on the hosting choice.
   const Query q = MakeQuery(8, 419);
   SmaOptions base;
   base.space = PlanSpace::kLinear;

@@ -16,12 +16,15 @@
 
 #include "catalog/generator.h"
 #include "cluster/rpc_backend.h"
+#include "cluster/session/session.h"
+#include "cluster/session/stateful_task.h"
 #include "cluster/supervisor/worker_supervisor.h"
 #include "cluster/task_registry.h"
 #include "common/serialize.h"
 #include "mpq/mpq.h"
 #include "plan/plan_serde.h"
 #include "service/optimizer_service.h"
+#include "sma/sma.h"
 #include "tests/rpc_test_util.h"
 
 namespace mpqopt {
@@ -62,19 +65,8 @@ std::vector<uint8_t> PlanBytes(const MpqResult& result) {
   return writer.Release();
 }
 
-TEST(WorkerSupervisorTest, BackoffIsExponentialAndCapped) {
-  SupervisorOptions options;
-  options.backoff_initial_ms = 50;
-  options.backoff_max_ms = 300;
-  EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(options, 0), 0);
-  EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(options, 1), 50);
-  EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(options, 2), 100);
-  EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(options, 3), 200);
-  EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(options, 4), 300);  // capped
-  EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(options, 60), 300);  // no wrap
-  options.backoff_initial_ms = 0;
-  EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(options, 3), 0);
-}
+// (The backoff/redial-budget arithmetic is unit-tested directly, without
+// sockets, in tests/supervisor_test.cc.)
 
 TEST(WorkerSupervisorTest, PingTaskIsRegistered) {
   EXPECT_EQ(ResolveTaskKind(WorkerTask(&PingTaskMain)),
@@ -264,6 +256,84 @@ TEST(RpcFailoverTest, SigtermDrainsTheInFlightTaskAndExitsZero) {
   EXPECT_EQ(exit_status, 0) << "worker did not shut down cleanly";
   ASSERT_TRUE(round.ok()) << round.status().ToString();
   EXPECT_EQ(round.value().responses[0], std::vector<uint8_t>{9});
+}
+
+/// SMA result bytes, for byte-identity assertions after session
+/// recovery.
+std::vector<uint8_t> SmaPlanBytes(const SmaResult& result) {
+  ByteWriter writer;
+  SerializePlanSet(result.arena, result.best, &writer);
+  return writer.Release();
+}
+
+// Session failover, SMA end to end: one of two workers crashes
+// DETERMINISTICALLY mid-query (chaos axis; session frames count against
+// the budget) and never comes back. Its memo replicas must migrate to
+// the survivor via re-open + broadcast replay, and the finished plan
+// must be byte-identical to a failure-free in-process run.
+TEST(RpcFailoverTest, SmaSessionsMigrateOffACrashedWorkerMidQuery) {
+  RpcWorkerFarm farm;
+  farm.Start(1);
+  farm.StartChaos(8);  // dies without replying during the query
+
+  SmaOptions base;
+  base.space = PlanSpace::kLinear;
+  base.num_workers = 4;
+  const Query q = MakeQuery(10, 500);
+  StatusOr<SmaResult> reference = SmaOptimize(q, base);
+  ASSERT_TRUE(reference.ok());
+
+  SmaOptions over_rpc = base;
+  over_rpc.backend = ConnectFarm(farm);
+  StatusOr<SmaResult> result = SmaOptimize(q, over_rpc);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(SmaPlanBytes(result.value()), SmaPlanBytes(reference.value()));
+  EXPECT_EQ(result.value().rounds, reference.value().rounds);
+
+  const BackendHealth health = over_rpc.backend->health();
+  EXPECT_GE(health.sessions.sessions_recovered, 1u);
+  EXPECT_EQ(health.sessions.sessions_failed, 0u);
+  EXPECT_EQ(farm.WaitExit(1), 42);  // the chaos exit code, not a signal
+}
+
+// Session failover, the unsurvivable case: the ONLY worker is SIGKILLed
+// mid-session. The session must fail deterministically (bounded time,
+// no hang); after a worker restart, its state is gone (a fresh process
+// holds no replicas) and a NEW backend + session serves normally.
+TEST(RpcFailoverTest, KilledOnlyWorkerFailsTheSessionAndRestartIsFresh) {
+  RpcWorkerFarm farm;
+  farm.Start(1);
+  auto backend = ConnectFarm(farm, /*retries=*/1);
+  StatusOr<std::unique_ptr<SessionHandle>> session =
+      backend->OpenSession(StatefulTaskKind::kAccumulator,
+                           {std::vector<uint8_t>{'a'}});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()
+                  ->Broadcast({kAccumulatorAppendOp, 'b'})
+                  .ok());
+  farm.Kill(0);
+  const auto start = std::chrono::steady_clock::now();
+  StatusOr<RoundResult> round =
+      session.value()->Step({{kAccumulatorPeekOp}});
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(round.ok());
+  EXPECT_LT(elapsed, 20.0);
+  // Sticky: the session stays failed even if the worker comes back.
+  farm.Restart(0);
+  EXPECT_FALSE(session.value()->Step({{kAccumulatorPeekOp}}).ok());
+  EXPECT_GE(backend->health().sessions.sessions_failed, 1u);
+
+  // The restarted worker holds no stale state and serves fresh sessions.
+  auto fresh_backend = ConnectFarm(farm);
+  StatusOr<std::unique_ptr<SessionHandle>> fresh =
+      fresh_backend->OpenSession(StatefulTaskKind::kAccumulator,
+                                 {std::vector<uint8_t>{'z'}});
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  StatusOr<RoundResult> peek = fresh.value()->Step({{kAccumulatorPeekOp}});
+  ASSERT_TRUE(peek.ok());
+  EXPECT_EQ(peek.value().responses[0], std::vector<uint8_t>{'z'});
 }
 
 TEST(RpcFailoverTest, SigtermOnIdleWorkerExitsZeroPromptly) {

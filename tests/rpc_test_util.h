@@ -53,9 +53,11 @@ class RpcWorkerFarm {
   ~RpcWorkerFarm() { StopAll(); }
   MPQOPT_DISALLOW_COPY_AND_ASSIGN(RpcWorkerFarm);
 
-  /// Spawns `n` workers and waits for each to report its listening port.
-  void Start(int n) {
-    for (int i = 0; i < n; ++i) SpawnOne(/*port=*/0, {});
+  /// Spawns `n` workers and waits for each to report its listening
+  /// port. `extra_args` (e.g. "--session-ttl-ms=100") are passed to
+  /// every spawned worker; Restart() does NOT preserve them.
+  void Start(int n, const std::vector<std::string>& extra_args = {}) {
+    for (int i = 0; i < n; ++i) SpawnOne(/*port=*/0, extra_args);
   }
 
   /// Spawns one worker that serves `tasks_before_crash` task requests and

@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include "catalog/generator.h"
+#include "common/serialize.h"
 #include "mpq/mpq.h"
 #include "optimizer/pruning.h"
+#include "plan/plan_serde.h"
 #include "plan/plan_validator.h"
+#include "tests/rpc_test_util.h"
 
 namespace mpqopt {
 namespace {
@@ -25,6 +28,105 @@ SmaOptions Options(PlanSpace space, uint64_t workers) {
   opts.num_workers = workers;
   return opts;
 }
+
+/// The canonical wire bytes of a result's winning plan(s).
+std::vector<uint8_t> PlanBytes(const SmaResult& result) {
+  ByteWriter writer;
+  SerializePlanSet(result.arena, result.best, &writer);
+  return writer.Release();
+}
+
+// SMA's replicas run through the session protocol, so the hosting choice
+// — including REMOTE replicas in mpqopt_worker processes over real
+// sockets — must be invisible: plan cost, rounds, and the network series
+// byte-for-byte identical to the default in-process run. This is the
+// acceptance gate for stateful remote workers; the rpc parameter
+// self-hosts loopback worker subprocesses and does NOT skip.
+class SmaBackendTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == BackendKind::kRpc) farm_.Start(2);
+  }
+
+  std::shared_ptr<ExecutionBackend> MakeTestBackend() {
+    BackendOptions options;
+    options.max_threads = 2;
+    options.workers_addr = farm_.workers_addr();
+    StatusOr<std::shared_ptr<ExecutionBackend>> backend =
+        MakeBackend(GetParam(), options);
+    MPQOPT_CHECK(backend.ok());
+    return std::move(backend).value();
+  }
+
+  RpcWorkerFarm farm_;
+};
+
+TEST_P(SmaBackendTest, MatchesDefaultBackendByteForByte) {
+  const Query q = RandomQuery(9, 301);
+  SmaOptions base = Options(PlanSpace::kLinear, 3);
+  StatusOr<SmaResult> reference = SmaOptimize(q, base);
+  ASSERT_TRUE(reference.ok());
+
+  SmaOptions with_backend = base;
+  with_backend.backend = MakeTestBackend();
+  StatusOr<SmaResult> result = SmaOptimize(q, with_backend);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(PlanBytes(result.value()), PlanBytes(reference.value()));
+  EXPECT_DOUBLE_EQ(
+      result.value().arena.node(result.value().best[0]).cost.time(),
+      reference.value().arena.node(reference.value().best[0]).cost.time());
+  EXPECT_EQ(result.value().rounds, reference.value().rounds);
+  EXPECT_EQ(result.value().network_bytes, reference.value().network_bytes);
+  EXPECT_EQ(result.value().network_messages,
+            reference.value().network_messages);
+  EXPECT_EQ(result.value().max_worker_memo_sets,
+            reference.value().max_worker_memo_sets);
+}
+
+TEST_P(SmaBackendTest, MultiObjectiveFrontierMatchesByteForByte) {
+  const Query q = RandomQuery(7, 303);
+  SmaOptions base = Options(PlanSpace::kLinear, 4);
+  base.objective = Objective::kTimeAndBuffer;
+  base.alpha = 1.5;
+  StatusOr<SmaResult> reference = SmaOptimize(q, base);
+  ASSERT_TRUE(reference.ok());
+
+  SmaOptions with_backend = base;
+  with_backend.backend = MakeTestBackend();
+  StatusOr<SmaResult> result = SmaOptimize(q, with_backend);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  ASSERT_EQ(result.value().best.size(), reference.value().best.size());
+  EXPECT_EQ(PlanBytes(result.value()), PlanBytes(reference.value()));
+  EXPECT_EQ(result.value().network_bytes, reference.value().network_bytes);
+  EXPECT_EQ(result.value().network_messages,
+            reference.value().network_messages);
+}
+
+TEST_P(SmaBackendTest, BushySpaceMatchesSerialOptimum) {
+  const Query q = RandomQuery(7, 305);
+  DpConfig config;
+  config.space = PlanSpace::kBushy;
+  StatusOr<DpResult> serial = OptimizeSerial(q, config);
+  ASSERT_TRUE(serial.ok());
+  SmaOptions opts = Options(PlanSpace::kBushy, 3);
+  opts.backend = MakeTestBackend();
+  StatusOr<SmaResult> result = SmaOptimize(q, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(
+      result.value().arena.node(result.value().best[0]).cost.time(),
+      serial.value().arena.node(serial.value().best[0]).cost.time());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, SmaBackendTest,
+                         ::testing::Values(BackendKind::kThread,
+                                           BackendKind::kProcess,
+                                           BackendKind::kAsyncBatch,
+                                           BackendKind::kRpc),
+                         [](const auto& info) {
+                           return std::string(BackendKindName(info.param));
+                         });
 
 TEST(SmaTest, FindsSerialOptimumLinear) {
   const Query q = RandomQuery(8, 61);

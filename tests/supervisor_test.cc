@@ -1,0 +1,88 @@
+// Copyright 2026 mpqopt authors.
+//
+// Direct unit tests of the supervision arithmetic — no sockets, no
+// worker subprocesses. The socket integration suite
+// (tests/rpc_failover_test.cc) exercises the same logic end to end; this
+// binary pins the pure functions down exactly: the capped exponential
+// redial backoff (immediate first retry, doubling, cap, no overflow) and
+// the recovery pass budget that bounds round/session retry loops.
+
+#include "cluster/supervisor/worker_supervisor.h"
+
+#include <gtest/gtest.h>
+
+namespace mpqopt {
+namespace {
+
+TEST(BackoffDelayTest, FirstRetryOfAnEpisodeIsImmediate) {
+  SupervisorOptions options;
+  options.backoff_initial_ms = 50;
+  options.backoff_max_ms = 2000;
+  // A worker that just restarted accepts at once: the first redial after
+  // a failure must not wait.
+  EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(options, 0), 0);
+  EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(options, -3), 0);
+}
+
+TEST(BackoffDelayTest, DoublesFromInitialUpToTheCap) {
+  SupervisorOptions options;
+  options.backoff_initial_ms = 50;
+  options.backoff_max_ms = 300;
+  EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(options, 1), 50);
+  EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(options, 2), 100);
+  EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(options, 3), 200);
+  EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(options, 4), 300);  // capped
+  EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(options, 5), 300);
+}
+
+TEST(BackoffDelayTest, ManyFailuresCannotOverflowTheDelay) {
+  SupervisorOptions options;
+  options.backoff_initial_ms = 1000;
+  options.backoff_max_ms = 60000;
+  // 2^60 milliseconds would wrap a 32-bit int many times over; the
+  // doubling must saturate at the cap instead.
+  EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(options, 60), 60000);
+  EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(options, 1000), 60000);
+}
+
+TEST(BackoffDelayTest, DegenerateKnobsAreClamped) {
+  SupervisorOptions options;
+  options.backoff_initial_ms = 0;
+  options.backoff_max_ms = 300;
+  EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(options, 3), 0);
+  options.backoff_initial_ms = -10;  // negative = "no backoff", not UB
+  EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(options, 2), 0);
+  options.backoff_initial_ms = 500;
+  options.backoff_max_ms = 100;  // cap below initial: initial wins
+  EXPECT_EQ(WorkerSupervisor::BackoffDelayMs(options, 1), 500);
+}
+
+TEST(RecoveryPassBudgetTest, BudgetScalesWithRedialsAndPoolSize) {
+  // (max_redials + 1) dials per worker, plus two passes of slack: the
+  // initial scatter and a final all-healthy retry.
+  EXPECT_EQ(RecoveryPassBudget(2, 4), 2u + 3u * 4u);
+  EXPECT_EQ(RecoveryPassBudget(0, 4), 2u + 1u * 4u);
+  EXPECT_EQ(RecoveryPassBudget(1, 1), 2u + 2u * 1u);
+}
+
+TEST(RecoveryPassBudgetTest, NegativeRedialsActLikeZero) {
+  EXPECT_EQ(RecoveryPassBudget(-5, 3), RecoveryPassBudget(0, 3));
+}
+
+TEST(RecoveryPassBudgetTest, MatchesTheDocumentedRoundBound) {
+  // The bound RpcBackend::RunRound and RpcSessionHandle both enforce:
+  // a flapping worker can burn at most its redial budget per episode,
+  // so passes are finite even when every pass kills a worker.
+  for (int redials : {0, 1, 2, 8}) {
+    for (size_t workers : {size_t{1}, size_t{4}, size_t{16}}) {
+      const size_t budget = RecoveryPassBudget(redials, workers);
+      EXPECT_GE(budget, 2u + workers);
+      EXPECT_EQ(budget,
+                2 + (static_cast<size_t>(redials > 0 ? redials : 0) + 1) *
+                        workers);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpqopt

@@ -31,6 +31,7 @@
 #include "optimizer/pqo.h"
 #include "plan/plan.h"
 #include "service/optimizer_service.h"
+#include "sma/sma.h"
 
 namespace mpqopt {
 namespace {
@@ -78,7 +79,9 @@ const FlagDoc kFlagDocs[] = {
     {"--seed", "S", "workload generator seed"},
     {"--objective", "time|mo", "single- or multi-objective optimization"},
     {"--alpha", "A", "multi-objective approximation factor"},
-    {"--variant", "dp|io|pqo", "optimizer variant"},
+    {"--variant", "dp|io|pqo|sma",
+     "optimizer variant (sma = the per-level broadcast baseline, "
+     "distributed through stateful worker sessions)"},
     {"--parametric-table", "T", "parametric table for --variant=pqo"},
     {"--backend", nullptr /* filled from BackendKindList() */,
      "worker-execution runtime"},
@@ -290,6 +293,20 @@ StatusOr<std::shared_ptr<ExecutionBackend>> BuildBackend(
   return MakeBackend(cli.backend, backend_opts);
 }
 
+/// Prints the session-counters report line when any session activity
+/// happened — zero-noise for the stateless variants. The single
+/// formatter for both the single-query (BackendHealth) and serving
+/// (ServiceStats) reports, so the two cannot drift.
+void PrintSessionCounters(const SessionCounterSnapshot& sessions) {
+  if (sessions.sessions_opened == 0 && sessions.sessions_failed == 0) return;
+  std::printf("sessions           %llu opened, %llu rounds, %llu replicas "
+              "recovered, %llu failed\n",
+              static_cast<unsigned long long>(sessions.sessions_opened),
+              static_cast<unsigned long long>(sessions.session_rounds),
+              static_cast<unsigned long long>(sessions.sessions_recovered),
+              static_cast<unsigned long long>(sessions.sessions_failed));
+}
+
 /// Serving mode: Q concurrently optimized queries multiplexed onto one
 /// shared backend through the OptimizerService. With --unique-queries=U,
 /// the Q queries cycle through U distinct shapes — the repeated-workload
@@ -346,6 +363,12 @@ int RunService(QueryGenerator* generator, const CliOptions& cli) {
   std::printf("completed/failed   %llu / %llu\n",
               static_cast<unsigned long long>(stats.queries_completed),
               static_cast<unsigned long long>(stats.queries_failed));
+  SessionCounterSnapshot sessions;
+  sessions.sessions_opened = stats.sessions_opened;
+  sessions.session_rounds = stats.session_rounds;
+  sessions.sessions_recovered = stats.sessions_recovered;
+  sessions.sessions_failed = stats.sessions_failed;
+  PrintSessionCounters(sessions);
   if (cli.plan_cache) {
     std::printf("plan cache         %llu hits / %llu misses / %llu evictions"
                 " (capacity %llu / ttl %llu / invalidated %llu)\n",
@@ -383,6 +406,57 @@ int RunService(QueryGenerator* generator, const CliOptions& cli) {
     }
   }
   return stats.queries_failed == 0 ? 0 : 1;
+}
+
+/// --variant=sma: the per-level broadcast baseline. Runs through the
+/// session protocol, so every backend — including rpc — hosts the
+/// per-node memo replicas.
+int RunSma(const Query& query, const CliOptions& cli) {
+  const MpqOptions backend_opts_source = BuildMpqOptions(cli);
+  StatusOr<std::shared_ptr<ExecutionBackend>> backend =
+      BuildBackend(cli, backend_opts_source);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "error: %s\n", backend.status().ToString().c_str());
+    return 1;
+  }
+  SmaOptions opts;
+  opts.space = cli.space;
+  opts.objective = cli.objective;
+  opts.alpha = cli.alpha;
+  opts.num_workers = cli.workers;
+  opts.backend = std::move(backend).value();
+  StatusOr<SmaResult> result = SmaOptimize(query, opts);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const SmaResult& r = result.value();
+  std::printf("workers            %llu (backend: %s, variant: sma)\n",
+              static_cast<unsigned long long>(opts.num_workers),
+              BackendKindName(cli.backend));
+  std::printf("cluster time       %.2f ms (W-time %.2f ms)\n",
+              r.simulated_seconds * 1e3, r.max_worker_seconds * 1e3);
+  std::printf("memo relations     %lld per worker (full replica)\n",
+              static_cast<long long>(r.max_worker_memo_sets));
+  std::printf("rounds             %d (one per level)\n", r.rounds);
+  std::printf("network            %llu bytes in %llu messages\n",
+              static_cast<unsigned long long>(r.network_bytes),
+              static_cast<unsigned long long>(r.network_messages));
+  PrintSessionCounters(opts.backend->health().sessions);
+  if (cli.objective == Objective::kTime) {
+    std::printf("best plan          %s\n",
+                PlanToString(r.arena, r.best[0]).c_str());
+    std::printf("estimated cost     %.6g work units\n",
+                r.arena.node(r.best[0]).cost.time());
+  } else {
+    std::printf("Pareto frontier    %zu plans (alpha = %g)\n", r.best.size(),
+                cli.alpha);
+    for (PlanId id : r.best) {
+      std::printf("  time %.6g  buffer %.6g\n", r.arena.node(id).cost[0],
+                  r.arena.node(id).cost[1]);
+    }
+  }
+  return 0;
 }
 
 int RunMpq(const Query& query, const CliOptions& cli) {
@@ -443,8 +517,9 @@ int Main(int argc, char** argv) {
   }
   // Reject unusable worker counts up front instead of silently rounding:
   // MPQ requires a power of two not exceeding the maximal parallelism of
-  // the query (the pqo variant rounds internally and is exempt).
-  if (cli.variant != "pqo") {
+  // the query (the pqo variant rounds internally and is exempt, and SMA
+  // deals its level chunks round-robin to ANY m >= 1).
+  if (cli.variant != "pqo" && cli.variant != "sma") {
     const Status workers_ok =
         ValidateNumWorkers(cli.workers, cli.tables, cli.space);
     if (!workers_ok.ok()) {
@@ -456,8 +531,8 @@ int Main(int argc, char** argv) {
   GeneratorOptions gen_opts;
   gen_opts.shape = cli.shape;
   QueryGenerator generator(gen_opts, cli.seed);
-  const bool serving_mode =
-      cli.concurrent_queries > 0 && cli.variant != "pqo";
+  const bool serving_mode = cli.concurrent_queries > 0 &&
+                            cli.variant != "pqo" && cli.variant != "sma";
   if (cli.serving_flags_used && !serving_mode) {
     // Reject rather than silently ignore: a user benchmarking the plan
     // cache must not believe it was active when it never existed.
@@ -474,6 +549,7 @@ int Main(int argc, char** argv) {
   std::printf("%s", query.ToString().c_str());
   std::printf("plan space         %s\n", PlanSpaceName(cli.space));
   if (cli.variant == "pqo") return RunPqo(query, cli);
+  if (cli.variant == "sma") return RunSma(query, cli);
   return RunMpq(query, cli);
 }
 

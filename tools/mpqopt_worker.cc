@@ -4,9 +4,13 @@
 //
 // Listens on a TCP endpoint and serves framed worker-task requests
 // (MpqOptimizer::WorkerMain, HeteroMpqOptimizer::WorkerMain, and the
-// diagnostic kinds; see cluster/task_registry.h). One serving thread per
-// master connection; connections are persistent and each carries a
-// sequential request/response stream.
+// diagnostic kinds; see cluster/task_registry.h) plus stateful session
+// frames (SMA memo replicas and other registered session kinds; see
+// cluster/session/). One serving thread per master connection;
+// connections are persistent and each carries a sequential
+// request/response stream with its own session store — a replica is
+// freed when its session closes, when its TTL expires, or when the
+// owning connection drops.
 //
 //   mpqopt_worker --listen=127.0.0.1:7001
 //   mpqopt_worker --listen=0.0.0.0:0        # ephemeral port, printed below
@@ -19,12 +23,12 @@
 // (executed and answered), idle connections close, and the process exits
 // 0. Anything else (SIGKILL, --chaos-kill-after) is a crash, which the
 // master's supervision subsystem (cluster/supervisor/) handles by
-// redialing and re-scattering.
+// redialing and re-scattering — and, for sessions, re-opening and
+// replaying the lost replicas.
 //
-// --chaos-kill-after=N is the failover-test chaos axis: the worker
-// serves N task requests normally, then exits abruptly WITHOUT replying
-// to request N+1 — a deterministic mid-round node death. Ping frames do
-// not count against the budget.
+// The usage text is generated from kFlagDocs below, like mpqopt_cli's:
+// new flags document themselves by adding a row, so --help cannot drift
+// from the real option surface.
 
 #include <signal.h>
 #include <unistd.h>
@@ -33,6 +37,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "cluster/rpc_backend.h"
@@ -59,42 +64,121 @@ void InstallShutdownHandlers() {
   ::sigaction(SIGINT, &action, nullptr);
 }
 
-int Main(int argc, char** argv) {
+struct WorkerOptions {
   std::string listen = "0.0.0.0:0";
   int64_t chaos_kill_after = -1;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--listen=", 9) == 0) {
-      listen = arg + 9;
-    } else if (std::strncmp(arg, "--chaos-kill-after=", 19) == 0) {
-      char* end = nullptr;
-      chaos_kill_after = std::strtoll(arg + 19, &end, 10);
-      if (end == arg + 19 || *end != '\0' || chaos_kill_after < 0) {
-        std::fprintf(stderr, "invalid --chaos-kill-after value: %s\n",
-                     arg + 19);
-        return 2;
-      }
-    } else if (std::strcmp(arg, "--help") == 0) {
-      std::fprintf(stderr,
-                   "usage: %s [--listen=HOST:PORT] [--chaos-kill-after=N]\n"
-                   "  HOST:PORT   bind address (default 0.0.0.0:0; port 0\n"
-                   "              picks an ephemeral port)\n"
-                   "  N           chaos test axis: serve N task requests,\n"
-                   "              then crash without replying\n"
-                   "Prints \"LISTENING <port>\" once ready, then serves\n"
-                   "mpqopt worker tasks until killed; SIGTERM/SIGINT drain\n"
-                   "in-flight tasks and exit 0.\n",
-                   argv[0]);
-      return 2;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg);
-      return 2;
+  SessionStoreOptions sessions;
+  bool help = false;
+};
+
+/// One row of the option surface: flag name, value placeholder shown in
+/// --help (null for valueless flags), and help text. This table is the
+/// single authority for the usage message.
+struct FlagDoc {
+  const char* name;
+  const char* value;  // placeholder, or nullptr for boolean flags
+  const char* help;
+};
+
+const FlagDoc kFlagDocs[] = {
+    {"--listen", "HOST:PORT",
+     "bind address (default 0.0.0.0:0; port 0 picks an ephemeral port, "
+     "printed as \"LISTENING <port>\")"},
+    {"--chaos-kill-after", "N",
+     "chaos test axis: serve N task requests, then crash without "
+     "replying (pings exempt)"},
+    {"--session-ttl-ms", "MS",
+     "reclaim a session replica untouched for MS milliseconds "
+     "(default 900000; 0 disables TTL GC)"},
+    {"--session-max-bytes", "N",
+     "per-session replica byte cap; an open/step that exceeds it fails "
+     "deterministically and drops the replica (default 268435456)"},
+    {"--help", nullptr, "print this message"},
+};
+
+void PrintUsage(FILE* out, const char* argv0) {
+  std::fprintf(out, "usage: %s [flags]\n", argv0);
+  for (const FlagDoc& doc : kFlagDocs) {
+    std::string flag = doc.name;
+    if (doc.value != nullptr) {
+      flag += "=";
+      flag += doc.value;
     }
+    std::fprintf(out, "  %-26s %s\n", flag.c_str(), doc.help);
+  }
+  std::fprintf(out,
+               "Serves mpqopt worker tasks and stateful sessions until "
+               "killed;\nSIGTERM/SIGINT drain in-flight tasks and exit 0.\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+/// Parses a non-negative integer flag value; false (with a message) on
+/// junk.
+bool ParseNonNegative(const std::string& value, const char* flag,
+                      int64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || *out < 0) {
+    std::fprintf(stderr, "invalid %s value: %s\n", flag, value.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, WorkerOptions* opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    int64_t parsed = 0;
+    if (ParseFlag(argv[i], "--listen", &v)) {
+      opts->listen = v;
+    } else if (ParseFlag(argv[i], "--chaos-kill-after", &v)) {
+      if (!ParseNonNegative(v, "--chaos-kill-after", &parsed)) return false;
+      opts->chaos_kill_after = parsed;
+    } else if (ParseFlag(argv[i], "--session-ttl-ms", &v)) {
+      if (!ParseNonNegative(v, "--session-ttl-ms", &parsed)) return false;
+      if (parsed > std::numeric_limits<int>::max()) {
+        // Truncating would wrap negative, which SweepExpired reads as
+        // "TTL disabled" — the opposite of what was asked for.
+        std::fprintf(stderr, "--session-ttl-ms value too large: %s\n",
+                     v.c_str());
+        return false;
+      }
+      opts->sessions.ttl_ms = static_cast<int>(parsed);
+    } else if (ParseFlag(argv[i], "--session-max-bytes", &v)) {
+      if (!ParseNonNegative(v, "--session-max-bytes", &parsed)) return false;
+      opts->sessions.max_session_bytes = static_cast<uint64_t>(parsed);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      opts->help = true;
+      return true;  // help wins over everything else on the line
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  WorkerOptions opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    PrintUsage(stderr, argv[0]);
+    return 2;
+  }
+  if (opts.help) {
+    PrintUsage(stdout, argv[0]);
+    return 0;
   }
 
   std::string host;
   int port = 0;
-  Status s = ParseHostPort(listen, &host, &port);
+  Status s = ParseHostPort(opts.listen, &host, &port);
   if (!s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
     return 1;
@@ -109,12 +193,15 @@ int Main(int argc, char** argv) {
   std::fflush(stdout);
   std::fprintf(stderr, "mpqopt_worker: pid %d serving on port %d%s\n",
                static_cast<int>(::getpid()), listener.value().port(),
-               chaos_kill_after >= 0 ? " (chaos kill armed)" : "");
+               opts.chaos_kill_after >= 0 ? " (chaos kill armed)" : "");
 
-  std::atomic<int64_t> chaos_remaining{chaos_kill_after};
+  std::atomic<int64_t> chaos_remaining{opts.chaos_kill_after};
   RpcServeOptions serve;
   serve.stop = &g_stop;
-  if (chaos_kill_after >= 0) serve.chaos_tasks_remaining = &chaos_remaining;
+  serve.sessions = opts.sessions;
+  if (opts.chaos_kill_after >= 0) {
+    serve.chaos_tasks_remaining = &chaos_remaining;
+  }
   s = ServeRpcWorker(&listener.value(), serve);
   if (s.ok()) {
     // Graceful SIGTERM/SIGINT drain completed.
