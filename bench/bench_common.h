@@ -14,6 +14,7 @@
 #define MPQOPT_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,91 @@ inline void PrintHeader(const char* title) {
   std::printf("%s\n", title);
   std::printf("==================================================\n");
 }
+
+/// Machine-readable benchmark output, shared by every bench binary via
+/// the `--json=<path>` flag: one JSON array of records, each
+/// {"bench", "config", "metric", "value", "units"}. CI uploads these
+/// files per build so the perf trajectory is tracked across PRs.
+class BenchJsonWriter {
+ public:
+  /// Strips a `--json=<path>` argument from argc/argv (so downstream
+  /// flag parsers — google-benchmark's included — never see it) and
+  /// returns the path, or "" when the flag is absent.
+  static std::string ParseFlag(int* argc, char** argv) {
+    std::string path;
+    int w = 1;
+    for (int r = 1; r < *argc; ++r) {
+      if (std::strncmp(argv[r], "--json=", 7) == 0) {
+        path = argv[r] + 7;
+        continue;
+      }
+      argv[w++] = argv[r];
+    }
+    *argc = w;
+    return path;
+  }
+
+  void Add(const std::string& bench, const std::string& config,
+           const std::string& metric, double value,
+           const std::string& units) {
+    records_.push_back({bench, config, metric, value, units});
+  }
+
+  bool empty() const { return records_.empty(); }
+
+  /// Writes the records as a JSON array. Returns false (with a message
+  /// on stderr) when the file cannot be written.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write benchmark json to %s\n",
+                   path.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f,
+                   "  {\"bench\": \"%s\", \"config\": \"%s\", "
+                   "\"metric\": \"%s\", \"value\": %.17g, "
+                   "\"units\": \"%s\"}%s\n",
+                   Escaped(r.bench).c_str(), Escaped(r.config).c_str(),
+                   Escaped(r.metric).c_str(), r.value,
+                   Escaped(r.units).c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Record {
+    std::string bench;
+    std::string config;
+    std::string metric;
+    double value;
+    std::string units;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        out.push_back(' ');  // benchmark names never need control chars
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::vector<Record> records_;
+};
 
 }  // namespace mpqopt
 

@@ -65,8 +65,10 @@ ModeResult RunMode(BackendKind kind, const std::vector<Query>& queries,
 }  // namespace
 }  // namespace mpqopt
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpqopt;
+  const std::string json_path = BenchJsonWriter::ParseFlag(&argc, argv);
+  BenchJsonWriter json;
   const BenchConfig config = BenchConfig::FromEnv();
   const int tables =
       static_cast<int>(EnvInt("MPQOPT_SERVICE_TABLES", 10));
@@ -117,8 +119,18 @@ int main() {
                   TablePrinter::FormatMillis(async_batch.wall_seconds),
                   TablePrinter::FormatDouble(async_batch.qps, 1),
                   TablePrinter::FormatDouble(speedup, 2)});
+    const std::string point = "concurrency=" + std::to_string(concurrency);
+    json.Add("fig6_service_throughput", point + ",backend=thread",
+             "queries_per_second", threads.qps, "q/s");
+    json.Add("fig6_service_throughput", point + ",backend=thread",
+             "wall_time", threads.wall_seconds * 1e3, "ms");
+    json.Add("fig6_service_throughput", point + ",backend=async",
+             "queries_per_second", async_batch.qps, "q/s");
+    json.Add("fig6_service_throughput", point + ",backend=async",
+             "wall_time", async_batch.wall_seconds * 1e3, "ms");
   }
   table.Print();
+  if (!json_path.empty() && !json.WriteTo(json_path)) return 1;
   std::printf(
       "\nExpected shape: near-tie at concurrency 1; the persistent pool\n"
       "(async) pulls ahead as concurrency grows — per-round thread spawn\n"

@@ -7,6 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
 #include "catalog/generator.h"
 #include "common/rng.h"
 #include "cost/cardinality.h"
@@ -168,6 +172,172 @@ void BM_RequestBuildAndWorkerDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_RequestBuildAndWorkerDecode);
 
+/// Master Phase-1 scatter, the seed's way: one full BuildRequest per
+/// partition, re-serializing the query m times.
+void BM_MasterScatterPerPartition(benchmark::State& state) {
+  const Query q = TestQuery(static_cast<int>(state.range(0)));
+  MpqOptions opts;
+  opts.space = PlanSpace::kLinear;
+  opts.num_workers = static_cast<uint64_t>(state.range(1));
+  for (auto _ : state) {
+    size_t bytes = 0;
+    for (uint64_t part = 0; part < opts.num_workers; ++part) {
+      bytes += MpqOptimizer::BuildRequest(q, part, opts).size();
+    }
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(opts.num_workers));
+}
+BENCHMARK(BM_MasterScatterPerPartition)->Args({14, 64})->Args({17, 64});
+
+/// Master Phase-1 scatter, batched: the query and option tail serialize
+/// once, each request is two splices + the partition id.
+void BM_MasterScatterBatch(benchmark::State& state) {
+  const Query q = TestQuery(static_cast<int>(state.range(0)));
+  MpqOptions opts;
+  opts.space = PlanSpace::kLinear;
+  opts.num_workers = static_cast<uint64_t>(state.range(1));
+  for (auto _ : state) {
+    const std::vector<std::vector<uint8_t>> requests =
+        MpqOptimizer::BuildRequests(q, opts);
+    benchmark::DoNotOptimize(requests.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(opts.num_workers));
+}
+BENCHMARK(BM_MasterScatterBatch)->Args({14, 64})->Args({17, 64});
+
+/// Pre-computed worker responses for the finalize benchmarks (the DP is
+/// orders of magnitude more expensive than the decode being measured).
+std::vector<std::vector<uint8_t>> WorkerResponses(const Query& q,
+                                                  const MpqOptions& opts) {
+  std::vector<std::vector<uint8_t>> responses;
+  responses.reserve(opts.num_workers);
+  const std::vector<std::vector<uint8_t>> requests =
+      MpqOptimizer::BuildRequests(q, opts);
+  for (const std::vector<uint8_t>& request : requests) {
+    StatusOr<std::vector<uint8_t>> response = MpqOptimizer::WorkerMain(request);
+    MPQOPT_CHECK(response.ok());
+    responses.push_back(std::move(response).value());
+  }
+  return responses;
+}
+
+/// Master Phase-3: decode m responses + FinalPrune. range(1) is the
+/// decode thread count (1 = serial). Multi-objective, so every response
+/// carries a plan frontier and the decode is the dominant cost.
+void BM_MasterFinalize(benchmark::State& state) {
+  const Query q = TestQuery(static_cast<int>(state.range(0)));
+  MpqOptions opts;
+  opts.space = PlanSpace::kLinear;
+  opts.objective = Objective::kTimeAndBuffer;
+  opts.alpha = 1.2;
+  opts.num_workers = 64;
+  const std::vector<std::vector<uint8_t>> responses =
+      WorkerResponses(q, opts);
+  opts.finalize_threads = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    StatusOr<MpqResult> result =
+        MpqOptimizer::FinalizeResponses(responses, opts);
+    MPQOPT_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().best.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(opts.num_workers));
+}
+BENCHMARK(BM_MasterFinalize)->Args({14, 1})->Args({14, 4});
+
+/// The seed's master Phase 3, reproduced through the public slow-path
+/// APIs for the before/after A/B: per-plan Status-returning decode into
+/// one shared arena, then the same final prune. The production path is
+/// FinalizeResponses (raw-cursor decode, pre-sized arenas, optional
+/// decode shards); this stays in the bench as the baseline shape.
+struct SeedFinalizeResult {
+  PlanArena arena;
+  std::vector<PlanId> best;
+};
+
+SeedFinalizeResult SeedFinalize(
+    const std::vector<std::vector<uint8_t>>& responses,
+    const MpqOptions& opts) {
+  SeedFinalizeResult out;
+  const auto cost_of = [&out](PlanId id) -> const CostVector& {
+    return out.arena.node(id).cost;
+  };
+  for (const std::vector<uint8_t>& response : responses) {
+    ByteReader reader(response);
+    uint64_t counter = 0;
+    double seconds = 0;
+    for (int i = 0; i < 3; ++i) MPQOPT_CHECK(reader.ReadU64(&counter).ok());
+    MPQOPT_CHECK(reader.ReadDouble(&seconds).ok());
+    uint32_t count = 0;
+    MPQOPT_CHECK(reader.ReadU32(&count).ok());
+    for (uint32_t i = 0; i < count; ++i) {
+      StatusOr<PlanId> id = DeserializePlan(&reader, &out.arena);
+      MPQOPT_CHECK(id.ok());
+      if (opts.objective == Objective::kTime) {
+        if (out.best.empty() ||
+            cost_of(id.value()).time() < cost_of(out.best[0]).time()) {
+          out.best.assign(1, id.value());
+        }
+      } else {
+        ParetoInsert(&out.best, id.value(), cost_of, opts.alpha);
+      }
+    }
+  }
+  return out;
+}
+
+/// The full master hot path (Phase 1 serialize + Phase 3 finalize),
+/// before vs after: range(1) = 0 runs the seed's shape (per-partition
+/// serialize, per-plan slow decode into a shared arena), 1 runs the
+/// batched scatter and the production FinalizeResponses. The ratio of
+/// the two is the PR's headline. range(2) selects the objective: 0 =
+/// kTime (one plan per response — the default serving shape), 1 =
+/// kTimeAndBuffer (frontier responses, heavier decode).
+void BM_MasterSerializeFinalize(benchmark::State& state) {
+  const Query q = TestQuery(static_cast<int>(state.range(0)));
+  MpqOptions opts;
+  opts.space = PlanSpace::kLinear;
+  opts.objective = state.range(2) != 0 ? Objective::kTimeAndBuffer
+                                       : Objective::kTime;
+  opts.alpha = 10.0;  // paper default: compact frontiers at every n
+  opts.num_workers = 64;
+  const std::vector<std::vector<uint8_t>> responses =
+      WorkerResponses(q, opts);
+  const bool batched = state.range(1) != 0;
+  opts.finalize_threads = batched ? 0 : 1;
+  for (auto _ : state) {
+    size_t bytes = 0;
+    if (batched) {
+      const std::vector<std::vector<uint8_t>> requests =
+          MpqOptimizer::BuildRequests(q, opts);
+      bytes = requests.size();
+      StatusOr<MpqResult> result =
+          MpqOptimizer::FinalizeResponses(responses, opts);
+      MPQOPT_CHECK(result.ok());
+      bytes += result.value().best.size();
+    } else {
+      for (uint64_t part = 0; part < opts.num_workers; ++part) {
+        bytes += MpqOptimizer::BuildRequest(q, part, opts).size();
+      }
+      const SeedFinalizeResult result = SeedFinalize(responses, opts);
+      bytes += result.best.size();
+    }
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(opts.num_workers));
+}
+BENCHMARK(BM_MasterSerializeFinalize)
+    ->Args({14, 0, 0})
+    ->Args({14, 1, 0})
+    ->Args({17, 0, 0})
+    ->Args({17, 1, 0})
+    ->Args({17, 0, 1})
+    ->Args({17, 1, 1});
+
 void BM_WorkerFullOptimization(benchmark::State& state) {
   // End-to-end worker task: decode + constrained DP + encode.
   const Query q = TestQuery(static_cast<int>(state.range(0)));
@@ -184,7 +354,50 @@ void BM_WorkerFullOptimization(benchmark::State& state) {
 }
 BENCHMARK(BM_WorkerFullOptimization)->Arg(10)->Arg(14);
 
+/// Console output as usual, plus one BenchJsonWriter record per run
+/// (bench name with its args as the config, ns/iter as the metric).
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(BenchJsonWriter* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      const size_t slash = name.find('/');
+      const std::string bench =
+          slash == std::string::npos ? name : name.substr(0, slash);
+      const std::string config =
+          slash == std::string::npos ? "" : name.substr(slash + 1);
+      const double iters = static_cast<double>(run.iterations);
+      if (iters > 0) {
+        json_->Add(bench, config, "real_time",
+                   run.real_accumulated_time / iters * 1e9, "ns/iter");
+        if (run.counters.find("items_per_second") != run.counters.end()) {
+          json_->Add(bench, config, "items_per_second",
+                     run.counters.at("items_per_second"), "items/s");
+        }
+      }
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  BenchJsonWriter* json_;
+};
+
 }  // namespace
 }  // namespace mpqopt
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path =
+      mpqopt::BenchJsonWriter::ParseFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  mpqopt::BenchJsonWriter json;
+  mpqopt::JsonCaptureReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() && !json.WriteTo(json_path)) return 1;
+  return 0;
+}

@@ -204,6 +204,9 @@ void ServeRpcConnection(Socket socket, RpcServeOptions serve) {
   // Session replicas opened over this connection; dies with it, so a
   // master crash or reconnect frees every replica it owned.
   SessionStore sessions(serve.sessions);
+  // One Frame for the connection's lifetime: RecvFrame reuses its payload
+  // capacity, so steady-state serving allocates nothing per request.
+  Frame request;
   for (;;) {
     if (serve.stop != nullptr) {
       // Idle-wait in short slices so a shutdown request is noticed
@@ -219,7 +222,6 @@ void ServeRpcConnection(Socket socket, RpcServeOptions serve) {
         sessions.SweepExpired();
       }
     }
-    Frame request;
     if (!RecvFrame(socket.fd(), &request).ok()) {
       return;  // clean close between frames, or a broken peer — either way
                // this connection is done
@@ -250,11 +252,11 @@ void ServeRpcConnection(Socket socket, RpcServeOptions serve) {
             " bytes exceeds the frame size limit";
         session_reply.body.assign(msg.begin(), msg.end());
       }
-      const std::vector<uint8_t> payload = BuildRpcReplyPayload(
-          session_reply.compute_seconds, session_reply.body.data(),
-          session_reply.body.size());
-      if (!SendFrame(socket.fd(), static_cast<uint8_t>(session_reply.kind),
-                     payload)
+      // Gather-send: seconds header + body straight from the reply's
+      // buffer, no assembled payload copy.
+      if (!SendRpcReply(socket.fd(), session_reply.kind,
+                        session_reply.compute_seconds,
+                        {session_reply.body.data(), session_reply.body.size()})
                .ok()) {
         return;
       }
@@ -292,9 +294,8 @@ void ServeRpcConnection(Socket socket, RpcServeOptions serve) {
     }
     const auto end = std::chrono::steady_clock::now();
     const double seconds = std::chrono::duration<double>(end - start).count();
-    const std::vector<uint8_t> payload =
-        BuildRpcReplyPayload(seconds, body.data(), body.size());
-    if (!SendFrame(socket.fd(), static_cast<uint8_t>(reply_kind), payload)
+    if (!SendRpcReply(socket.fd(), reply_kind, seconds,
+                      {body.data(), body.size()})
              .ok()) {
       return;
     }

@@ -23,6 +23,10 @@
 #include <cstring>
 #include <vector>
 
+#include "common/copy_probe.h"
+#include "common/status.h"
+#include "net/frame_transport.h"
+
 namespace mpqopt {
 
 /// Reply-frame tags (the `kind` byte of frames flowing worker -> master).
@@ -43,19 +47,57 @@ constexpr size_t kRpcReplyHeaderBytes = sizeof(double);
 /// `size` body bytes. The f64 crosses the wire as its IEEE-754 bit
 /// pattern in little-endian byte order, like the frame length prefix —
 /// independent of either peer's host endianness.
-inline std::vector<uint8_t> BuildRpcReplyPayload(double compute_seconds,
-                                                 const uint8_t* body,
-                                                 size_t size) {
-  std::vector<uint8_t> payload(kRpcReplyHeaderBytes + size);
+/// Encodes the compute-seconds header into a caller-owned 8-byte slot.
+inline void EncodeRpcReplySeconds(double compute_seconds,
+                                  uint8_t out[kRpcReplyHeaderBytes]) {
   uint64_t bits = 0;
   std::memcpy(&bits, &compute_seconds, sizeof(bits));
   for (size_t i = 0; i < sizeof(bits); ++i) {
-    payload[i] = static_cast<uint8_t>(bits >> (8 * i));
+    out[i] = static_cast<uint8_t>(bits >> (8 * i));
   }
+}
+
+inline std::vector<uint8_t> BuildRpcReplyPayload(double compute_seconds,
+                                                 const uint8_t* body,
+                                                 size_t size) {
+  CountPayloadCopy(size);  // the gather path (SendRpcReply) avoids this
+  std::vector<uint8_t> payload(kRpcReplyHeaderBytes + size);
+  EncodeRpcReplySeconds(compute_seconds, payload.data());
   if (size > 0) {
     std::memcpy(payload.data() + kRpcReplyHeaderBytes, body, size);
   }
   return payload;
+}
+
+/// Sends one reply frame — header and body gathered straight from the
+/// caller's buffers (byte-identical to SendFrame(BuildRpcReplyPayload)
+/// with zero assembly copies).
+inline Status SendRpcReply(int fd, RpcReplyKind kind, double compute_seconds,
+                           ConstSpan body) {
+  uint8_t seconds[kRpcReplyHeaderBytes];
+  EncodeRpcReplySeconds(compute_seconds, seconds);
+  const ConstSpan parts[2] = {{seconds, sizeof(seconds)}, body};
+  return SendFrameV(fd, static_cast<uint8_t>(kind), parts, 2);
+}
+
+/// Receives one reply frame, splitting the compute-seconds header off in
+/// place: the body lands in `*body` (capacity reused across calls) with
+/// no post-receive erase/copy. A reply shorter than the header is
+/// kCorruption. `kind` is the raw frame kind byte — callers validate it
+/// against RpcReplyKind themselves (a bad byte is a protocol error whose
+/// handling is caller-specific).
+inline Status RecvRpcReply(int fd, uint8_t* kind, double* compute_seconds,
+                           std::vector<uint8_t>* body, int timeout_ms) {
+  uint8_t header[kRpcReplyHeaderBytes];
+  Status s = RecvFrameSplit(fd, kind, header, sizeof(header), body,
+                            timeout_ms);
+  if (!s.ok()) return s;
+  uint64_t bits = 0;
+  for (size_t i = 0; i < sizeof(bits); ++i) {
+    bits |= static_cast<uint64_t>(header[i]) << (8 * i);
+  }
+  std::memcpy(compute_seconds, &bits, sizeof(*compute_seconds));
+  return Status::OK();
 }
 
 /// Decodes the compute-seconds header of a reply payload; the caller has

@@ -184,11 +184,15 @@ Status RpcSessionHandle::StepNode(Node* node,
       counters_->recovered.fetch_add(1, std::memory_order_relaxed);
     }
     bool worker_failed = false;
-    const std::vector<uint8_t> payload =
-        BuildSessionStepPayload(node->id, request);
+    // Gather the id header and the request bytes into one frame — the
+    // request buffer is never copied on the master side.
+    uint8_t id_header[kSessionIdBytes];
+    EncodeU64(node->id, id_header);
+    const ConstSpan parts[2] = {{id_header, sizeof(id_header)},
+                                {request.data(), request.size()}};
     Status s =
-        supervisor_->Exchange(node->worker, kSessionStepFrame, payload,
-                              response, compute_seconds, &worker_failed);
+        supervisor_->ExchangeV(node->worker, kSessionStepFrame, parts, 2,
+                               response, compute_seconds, &worker_failed);
     if (s.ok()) return Status::OK();
     if (IsDeterministicFailure(s, worker_failed)) return s;
     last = s;
@@ -241,10 +245,13 @@ Status RpcSessionHandle::OpenNodeOn(size_t w, Node* node,
   std::vector<uint8_t> response;
   double seconds = 0;
   bool worker_failed = false;
-  Status s = supervisor_->Exchange(
-      w, kSessionOpenFrame,
-      BuildSessionOpenPayload(node->id, kind_, node->open_request), &response,
-      &seconds, &worker_failed);
+  uint8_t open_prefix[kSessionIdBytes + 1];
+  EncodeSessionOpenPrefix(node->id, kind_, open_prefix);
+  const ConstSpan open_parts[2] = {
+      {open_prefix, sizeof(open_prefix)},
+      {node->open_request.data(), node->open_request.size()}};
+  Status s = supervisor_->ExchangeV(w, kSessionOpenFrame, open_parts, 2,
+                                    &response, &seconds, &worker_failed);
   if (!s.ok()) {
     *final_failure = IsDeterministicFailure(s, worker_failed);
     return s;
@@ -252,10 +259,13 @@ Status RpcSessionHandle::OpenNodeOn(size_t w, Node* node,
   // Replay the recorded broadcasts in order: the replica is a pure fold
   // over them, so after this the node is byte-equivalent to one that
   // never failed.
+  uint8_t id_header[kSessionIdBytes];
+  EncodeU64(node->id, id_header);
   for (const std::vector<uint8_t>& payload : replay_log_) {
-    s = supervisor_->Exchange(w, kSessionStepFrame,
-                              BuildSessionStepPayload(node->id, payload),
-                              &response, &seconds, &worker_failed);
+    const ConstSpan parts[2] = {{id_header, sizeof(id_header)},
+                                {payload.data(), payload.size()}};
+    s = supervisor_->ExchangeV(w, kSessionStepFrame, parts, 2, &response,
+                               &seconds, &worker_failed);
     if (!s.ok()) {
       *final_failure = IsDeterministicFailure(s, worker_failed);
       return s;

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "cluster/session/stateful_task.h"
+#include "common/copy_probe.h"
 #include "common/serialize.h"
 #include "common/status.h"
 #include "net/frame_transport.h"
@@ -44,9 +45,15 @@ constexpr uint8_t kSessionOpenFrame = kSessionFrameKindBase + 0;
 constexpr uint8_t kSessionStepFrame = kSessionFrameKindBase + 1;
 constexpr uint8_t kSessionCloseFrame = kSessionFrameKindBase + 2;
 
+/// Legacy copy-assembling builders. The RPC session layer now gathers
+/// the id header and request bytes through SendFrameV instead (see
+/// cluster/session/rpc_session.cc); these remain for tests and for
+/// callers that genuinely want a contiguous payload. Byte-identity
+/// between the two paths is pinned by tests/session_test.cc.
 inline std::vector<uint8_t> BuildSessionOpenPayload(
     uint64_t session_id, StatefulTaskKind kind,
     const std::vector<uint8_t>& open_request) {
+  CountPayloadCopy(open_request.size());
   ByteWriter writer;
   writer.WriteU64(session_id);
   writer.WriteU8(static_cast<uint8_t>(kind));
@@ -57,11 +64,24 @@ inline std::vector<uint8_t> BuildSessionOpenPayload(
 
 inline std::vector<uint8_t> BuildSessionStepPayload(
     uint64_t session_id, const std::vector<uint8_t>& request) {
+  CountPayloadCopy(request.size());
   ByteWriter writer;
   writer.WriteU64(session_id);
   std::vector<uint8_t> payload = writer.Release();
   payload.insert(payload.end(), request.begin(), request.end());
   return payload;
+}
+
+/// Encoded size of the session-id prefix on open/step/close payloads.
+constexpr size_t kSessionIdBytes = sizeof(uint64_t);
+
+/// Encodes the open-frame prefix (u64 id + kind byte) into a caller-owned
+/// slot, byte-identical to BuildSessionOpenPayload's first 9 bytes.
+inline void EncodeSessionOpenPrefix(uint64_t session_id,
+                                    StatefulTaskKind kind,
+                                    uint8_t out[kSessionIdBytes + 1]) {
+  EncodeU64(session_id, out);
+  out[kSessionIdBytes] = static_cast<uint8_t>(kind);
 }
 
 inline std::vector<uint8_t> BuildSessionClosePayload(uint64_t session_id) {

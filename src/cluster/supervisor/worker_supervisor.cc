@@ -71,13 +71,13 @@ StatusOr<Socket> WorkerSupervisor::EstablishConnection(
   Status s = SendFrame(socket.value().fd(),
                        static_cast<uint8_t>(RpcTaskKind::kPingTask), probe);
   if (!s.ok()) return Status::Internal("ping send failed: " + s.ToString());
-  Frame reply;
-  s = RecvFrame(socket.value().fd(), &reply, options_.ping_timeout_ms);
+  uint8_t reply_kind = 0;
+  double seconds = 0;
+  std::vector<uint8_t> echo;
+  s = RecvRpcReply(socket.value().fd(), &reply_kind, &seconds, &echo,
+                   options_.ping_timeout_ms);
   if (!s.ok()) return Status::Internal("ping reply failed: " + s.ToString());
-  if (reply.kind != static_cast<uint8_t>(RpcReplyKind::kOk) ||
-      reply.payload.size() != kRpcReplyHeaderBytes + probe.size() ||
-      !std::equal(probe.begin(), probe.end(),
-                  reply.payload.begin() + kRpcReplyHeaderBytes)) {
+  if (reply_kind != static_cast<uint8_t>(RpcReplyKind::kOk) || echo != probe) {
     return Status::Internal("ping reply mismatch (not an mpqopt worker, or "
                             "a worker/master version mismatch)");
   }
@@ -147,6 +147,16 @@ Status WorkerSupervisor::Exchange(size_t w, uint8_t task_kind,
                                   std::vector<uint8_t>* response,
                                   double* compute_seconds,
                                   bool* worker_failed) {
+  const ConstSpan part{request.data(), request.size()};
+  return ExchangeV(w, task_kind, &part, 1, response, compute_seconds,
+                   worker_failed);
+}
+
+Status WorkerSupervisor::ExchangeV(size_t w, uint8_t task_kind,
+                                   const ConstSpan* parts, size_t num_parts,
+                                   std::vector<uint8_t>* response,
+                                   double* compute_seconds,
+                                   bool* worker_failed) {
   MPQOPT_CHECK_LT(w, workers_.size());
   Worker* worker = workers_[w].get();
   std::lock_guard<std::mutex> io(worker->io_mutex);
@@ -157,7 +167,7 @@ Status WorkerSupervisor::Exchange(size_t w, uint8_t task_kind,
     return Status::Internal("rpc worker " + worker->endpoint + " is " +
                             WorkerHealthName(health));
   }
-  Status s = SendFrame(worker->socket.fd(), task_kind, request);
+  Status s = SendFrameV(worker->socket.fd(), task_kind, parts, num_parts);
   if (!s.ok()) {
     s = Status::Internal("rpc worker " + worker->endpoint +
                          ": request send failed: " + s.ToString());
@@ -165,8 +175,12 @@ Status WorkerSupervisor::Exchange(size_t w, uint8_t task_kind,
     *worker_failed = true;
     return s;
   }
-  Frame reply;
-  s = RecvFrame(worker->socket.fd(), &reply, options_.io_timeout_ms);
+  // The reply body lands straight in the caller's buffer (header split
+  // off by the transport); on error replies it holds the status text.
+  uint8_t reply_kind = 0;
+  double seconds = 0;
+  s = RecvRpcReply(worker->socket.fd(), &reply_kind, &seconds, response,
+                   options_.io_timeout_ms);
   if (!s.ok()) {
     s = Status::Internal("rpc worker " + worker->endpoint +
                          " disconnected or timed out mid-round: " +
@@ -175,45 +189,33 @@ Status WorkerSupervisor::Exchange(size_t w, uint8_t task_kind,
     *worker_failed = true;
     return s;
   }
-  if (reply.payload.size() < kRpcReplyHeaderBytes) {
-    s = Status::Corruption("rpc worker " + worker->endpoint +
-                           " sent a truncated reply header");
-    MarkFailed(worker, s);
-    *worker_failed = true;
-    return s;
-  }
-  const double seconds = DecodeRpcReplySeconds(reply.payload);
-  if (reply.kind == static_cast<uint8_t>(RpcReplyKind::kTaskError)) {
+  if (reply_kind == static_cast<uint8_t>(RpcReplyKind::kTaskError)) {
     // The task itself failed on a healthy worker. Deterministic — the
     // same bytes would fail anywhere — so the round must not retry it,
     // and the connection stays usable for later rounds.
     *worker_failed = false;
     return Status::Internal(
         "rpc worker " + worker->endpoint + " task failed: " +
-        std::string(reply.payload.begin() + kRpcReplyHeaderBytes,
-                    reply.payload.end()));
+        std::string(response->begin(), response->end()));
   }
-  if (reply.kind == static_cast<uint8_t>(RpcReplyKind::kSessionError)) {
+  if (reply_kind == static_cast<uint8_t>(RpcReplyKind::kSessionError)) {
     // The referenced session replica is gone on this worker (unknown or
     // TTL-expired id). The connection itself is healthy; the session
     // layer recovers by re-open + replay on kNotFound.
     *worker_failed = false;
     return Status::NotFound(
         "rpc worker " + worker->endpoint + " lost the session: " +
-        std::string(reply.payload.begin() + kRpcReplyHeaderBytes,
-                    reply.payload.end()));
+        std::string(response->begin(), response->end()));
   }
-  if (reply.kind != static_cast<uint8_t>(RpcReplyKind::kOk)) {
+  if (reply_kind != static_cast<uint8_t>(RpcReplyKind::kOk)) {
     s = Status::Corruption("rpc worker " + worker->endpoint +
                            " sent an unknown reply kind " +
-                           std::to_string(reply.kind));
+                           std::to_string(reply_kind));
     MarkFailed(worker, s);
     *worker_failed = true;
     return s;
   }
   *compute_seconds = seconds;
-  response->assign(reply.payload.begin() + kRpcReplyHeaderBytes,
-                   reply.payload.end());
   return Status::OK();
 }
 

@@ -108,6 +108,15 @@ class WorkerSupervisor {
                   std::vector<uint8_t>* response, double* compute_seconds,
                   bool* worker_failed);
 
+  /// Zero-copy variant of Exchange: the request goes out as a gather of
+  /// `parts` (one frame, byte-identical to the concatenation) and the
+  /// reply body lands directly in `*response` with the compute-seconds
+  /// header split off in place — no master-side payload copies in either
+  /// direction. Exchange is a one-part wrapper around this.
+  Status ExchangeV(size_t w, uint8_t task_kind, const ConstSpan* parts,
+                   size_t num_parts, std::vector<uint8_t>* response,
+                   double* compute_seconds, bool* worker_failed);
+
   /// Indices of workers a scatter pass may use right now: every HEALTHY
   /// worker, plus every SUSPECT worker whose backoff has expired and
   /// whose redial-plus-ping succeeded inline during this call.

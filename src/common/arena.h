@@ -1,0 +1,165 @@
+// Copyright 2026 mpqopt authors.
+//
+// Bump allocator for the per-query hot path. The master's Phase-3 decode
+// and the workers' multi-objective memo both allocate many small,
+// identically-shaped objects that all die together at the end of one
+// optimization; a bump arena turns those node-per-allocation heap trips
+// into pointer arithmetic and frees them wholesale via Reset().
+//
+// Only trivially-destructible types may live here: the arena never runs
+// destructors. Allocations are stable — a block, once handed out, is
+// never moved or reused until Reset() — so raw pointers into the arena
+// stay valid for the arena's (or reset cycle's) lifetime.
+
+#ifndef MPQOPT_COMMON_ARENA_H_
+#define MPQOPT_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace mpqopt {
+
+/// Block-chained bump allocator. Movable, not copyable.
+class Arena {
+ public:
+  /// Blocks start small (plan-cache entries hold arenas with a handful of
+  /// nodes and are charged ApproxBytes against a byte budget) and double
+  /// up to the cap, so steady-state allocation is one malloc per ~1MB.
+  static constexpr size_t kMinBlockBytes = 512;
+  static constexpr size_t kMaxBlockBytes = size_t{1} << 20;
+
+  Arena() = default;
+
+  Arena(Arena&& other) noexcept
+      : blocks_(std::move(other.blocks_)),
+        current_(std::exchange(other.current_, 0)),
+        pos_(std::exchange(other.pos_, 0)),
+        reserved_(std::exchange(other.reserved_, 0)) {
+    other.blocks_.clear();
+  }
+
+  Arena& operator=(Arena&& other) noexcept {
+    if (this != &other) {
+      blocks_ = std::move(other.blocks_);
+      other.blocks_.clear();
+      current_ = std::exchange(other.current_, 0);
+      pos_ = std::exchange(other.pos_, 0);
+      reserved_ = std::exchange(other.reserved_, 0);
+    }
+    return *this;
+  }
+
+  MPQOPT_DISALLOW_COPY_AND_ASSIGN(Arena);
+
+  /// Returns `bytes` bytes aligned to `alignment` (a power of two).
+  void* Allocate(size_t bytes, size_t alignment) {
+    MPQOPT_DCHECK(alignment > 0 && (alignment & (alignment - 1)) == 0);
+    if (bytes == 0) bytes = 1;  // distinct non-null results, like operator new
+    for (;;) {
+      if (current_ < blocks_.size()) {
+        Block& block = blocks_[current_];
+        const size_t aligned = (pos_ + alignment - 1) & ~(alignment - 1);
+        if (aligned + bytes <= block.size) {
+          pos_ = aligned + bytes;
+          return block.data.get() + aligned;
+        }
+        // This block is exhausted; fall through to the next (post-Reset
+        // reuse) or grow.
+        if (current_ + 1 < blocks_.size()) {
+          ++current_;
+          pos_ = 0;
+          continue;
+        }
+      }
+      AddBlock(bytes + alignment);
+    }
+  }
+
+  /// Uninitialized storage for `count` objects of trivially-destructible
+  /// type T. Returns nullptr for count == 0.
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory never runs destructors");
+    if (count == 0) return nullptr;
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Ensures the next `bytes` bytes of allocations fit one block: when
+  /// the current block's free tail is too small, one right-sized block
+  /// is added up front. Callers that know a decode's total size (e.g.
+  /// DeserializePlanSet's wire bound) turn the geometric growth chain
+  /// into a single malloc.
+  void ReserveBytes(size_t bytes) {
+    const size_t free_tail = current_ < blocks_.size()
+                                 ? blocks_[current_].size - pos_
+                                 : 0;
+    if (free_tail < bytes) AddBlock(bytes);
+  }
+
+  /// Rewinds the arena, keeping its blocks for reuse — the
+  /// reset-per-query pattern reaches a steady state with zero mallocs.
+  /// A fragmented arena (several growth-phase blocks) is released
+  /// wholesale instead, so the next cycle re-packs into one block.
+  void Reset() {
+    if (blocks_.size() > 1) {
+      const size_t total = reserved_;
+      blocks_.clear();
+      reserved_ = 0;
+      // One block sized for everything the previous cycle needed.
+      AddBlock(total < kMaxBlockBytes ? total : kMaxBlockBytes);
+    }
+    current_ = 0;
+    pos_ = 0;
+  }
+
+  /// Bytes reserved across all blocks (the resident footprint, used for
+  /// memory accounting — intentionally counts slack like
+  /// vector::capacity()-based accounting did).
+  size_t ApproxBytes() const {
+    return reserved_ + blocks_.capacity() * sizeof(Block);
+  }
+
+  /// Bytes handed out since the last Reset().
+  size_t used_bytes() const {
+    size_t used = pos_;
+    for (size_t b = 0; b < current_ && b < blocks_.size(); ++b) {
+      used += blocks_[b].size;
+    }
+    return used;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+  };
+
+  void AddBlock(size_t min_bytes) {
+    size_t size = reserved_ < kMinBlockBytes ? kMinBlockBytes : reserved_;
+    if (size > kMaxBlockBytes) size = kMaxBlockBytes;
+    if (size < min_bytes) size = min_bytes;
+    Block block;
+    block.data = std::make_unique<uint8_t[]>(size);
+    block.size = size;
+    blocks_.push_back(std::move(block));
+    reserved_ += size;
+    current_ = blocks_.size() - 1;
+    pos_ = 0;
+  }
+
+  std::vector<Block> blocks_;
+  size_t current_ = 0;  ///< block being bumped (== blocks_.size() when empty)
+  size_t pos_ = 0;      ///< offset in the current block
+  size_t reserved_ = 0;
+};
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_COMMON_ARENA_H_

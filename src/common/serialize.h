@@ -29,9 +29,26 @@
 namespace mpqopt {
 
 /// Append-only binary encoder.
+///
+/// By default the writer owns its buffer. The external-buffer constructor
+/// instead appends into a caller-owned vector (after whatever it already
+/// holds) — the zero-copy scatter path uses this to assemble per-partition
+/// requests directly in the buffers the transport sends from, with no
+/// intermediate copy. size() always reports the bytes written through
+/// *this* writer, regardless of mode.
 class ByteWriter {
  public:
-  void WriteU8(uint8_t v) { buffer_.push_back(v); }
+  ByteWriter() : buffer_(&owned_) {}
+  /// Appends into `*sink` (not cleared; writes land after existing bytes).
+  /// `*sink` must outlive the writer.
+  explicit ByteWriter(std::vector<uint8_t>* sink)
+      : buffer_(sink), start_(sink->size()) {}
+
+  // Not copyable/movable: owning mode holds a pointer into itself.
+  ByteWriter(const ByteWriter&) = delete;
+  ByteWriter& operator=(const ByteWriter&) = delete;
+
+  void WriteU8(uint8_t v) { buffer_->push_back(v); }
 
   /// Canonical bool encoding: exactly 0 or 1, never other truthy bytes
   /// (keeps fingerprints of logically equal values byte-identical).
@@ -50,19 +67,32 @@ class ByteWriter {
     WriteRaw(s.data(), s.size());
   }
 
-  const std::vector<uint8_t>& buffer() const { return buffer_; }
-  std::vector<uint8_t> Release() { return std::move(buffer_); }
-  size_t size() const { return buffer_.size(); }
+  /// Appends `n` raw bytes verbatim (for splicing pre-encoded fragments).
+  void WriteBytes(const uint8_t* data, size_t n) { WriteRaw(data, n); }
+
+  const std::vector<uint8_t>& buffer() const { return *buffer_; }
+  /// Only valid in owning mode.
+  std::vector<uint8_t> Release() { return std::move(owned_); }
+  /// Bytes written through this writer (excludes pre-existing sink bytes).
+  size_t size() const { return buffer_->size() - start_; }
 
  private:
   void WriteRaw(const void* data, size_t n) {
-    const size_t old = buffer_.size();
-    buffer_.resize(old + n);
-    std::memcpy(buffer_.data() + old, data, n);
+    const size_t old = buffer_->size();
+    buffer_->resize(old + n);
+    std::memcpy(buffer_->data() + old, data, n);
   }
 
-  std::vector<uint8_t> buffer_;
+  std::vector<uint8_t> owned_;
+  std::vector<uint8_t>* buffer_;
+  size_t start_ = 0;
 };
+
+/// Encodes `v` exactly as ByteWriter::WriteU64 would, into a caller-owned
+/// 8-byte slot. The session wire format prepends a u64 session id to
+/// payloads workers parse with ByteReader::ReadU64; span-assembled frames
+/// use this to stay byte-identical with the legacy copy-assembled path.
+inline void EncodeU64(uint64_t v, uint8_t out[8]) { std::memcpy(out, &v, 8); }
 
 /// Sequential binary decoder with bounds checking. Decoding failures
 /// surface as Status::Corruption rather than undefined behaviour so that a
@@ -104,6 +134,15 @@ class ByteReader {
 
   size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }
+
+  /// Raw view of the unread suffix, for hot-loop decoders that do their
+  /// own pointer-comparison bounds checks (see plan_serde.cc). Pair with
+  /// Advance() to commit however many bytes the raw decoder consumed.
+  const uint8_t* cursor() const { return data_ + pos_; }
+  void Advance(size_t n) {
+    MPQOPT_DCHECK(n <= remaining());
+    pos_ += n;
+  }
 
  private:
   Status ReadRaw(void* out, size_t n) {

@@ -2,7 +2,10 @@
 
 #include "mpq/mpq.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <thread>
 
 #include "common/serialize.h"
 #include "optimizer/pruning.h"
@@ -34,6 +37,24 @@ Status DeserializeReport(ByteReader* reader, WorkerReport* r) {
   return reader->ReadDouble(&r->seconds);
 }
 
+/// One worker response after decoding — the unit of the sharded finalize.
+/// Each shard decodes into its own arena, so the decode stage shares no
+/// mutable state across threads; the prune then walks the shards in
+/// partition order (ParetoInsert is order-dependent, so the merge must
+/// see the plans in exactly the sequence the serial pass would).
+struct DecodedResponse {
+  WorkerReport report;
+  PlanArena arena;
+  std::vector<PlanId> plans;
+  Status status = Status::OK();
+};
+
+/// A plan reference across shards: partition index + id in its arena.
+struct ShardPlanRef {
+  uint32_t part = 0;
+  PlanId id = kInvalidPlanId;
+};
+
 }  // namespace
 
 MpqOptimizer::MpqOptimizer(MpqOptions options) : options_(std::move(options)) {
@@ -43,22 +64,58 @@ MpqOptimizer::MpqOptimizer(MpqOptions options) : options_(std::move(options)) {
   }
 }
 
+namespace {
+
+/// The request fields after the partition id — identical for every
+/// partition of one run, so BuildRequests serializes them once.
+void SerializeOptionsTail(const MpqOptions& options, ByteWriter* writer) {
+  writer->WriteU64(options.num_workers);
+  writer->WriteU8(static_cast<uint8_t>(options.space));
+  writer->WriteU8(static_cast<uint8_t>(options.objective));
+  writer->WriteU8(options.interesting_orders ? 1 : 0);
+  writer->WriteDouble(options.alpha);
+  writer->WriteDouble(options.cost_options.block_size);
+  writer->WriteDouble(options.cost_options.hash_constant);
+  writer->WriteDouble(options.cost_options.output_cost_factor);
+  writer->WriteU64(static_cast<uint64_t>(options.max_memo_entries));
+}
+
+}  // namespace
+
 std::vector<uint8_t> MpqOptimizer::BuildRequest(const Query& query,
                                                 uint64_t partition_id,
                                                 const MpqOptions& options) {
   ByteWriter writer;
   query.Serialize(&writer);
   writer.WriteU64(partition_id);
-  writer.WriteU64(options.num_workers);
-  writer.WriteU8(static_cast<uint8_t>(options.space));
-  writer.WriteU8(static_cast<uint8_t>(options.objective));
-  writer.WriteU8(options.interesting_orders ? 1 : 0);
-  writer.WriteDouble(options.alpha);
-  writer.WriteDouble(options.cost_options.block_size);
-  writer.WriteDouble(options.cost_options.hash_constant);
-  writer.WriteDouble(options.cost_options.output_cost_factor);
-  writer.WriteU64(static_cast<uint64_t>(options.max_memo_entries));
+  SerializeOptionsTail(options, &writer);
   return writer.Release();
+}
+
+std::vector<std::vector<uint8_t>> MpqOptimizer::BuildRequests(
+    const Query& query, const MpqOptions& options) {
+  const uint64_t m = options.num_workers;
+  // Serialize the shared parts once; each request is then one pre-sized
+  // buffer filled by two splices and the partition id — the query (the
+  // dominant cost for real statistics) is encoded once per run instead
+  // of once per partition.
+  ByteWriter prefix_writer;
+  query.Serialize(&prefix_writer);
+  const std::vector<uint8_t>& prefix = prefix_writer.buffer();
+  ByteWriter suffix_writer;
+  SerializeOptionsTail(options, &suffix_writer);
+  const std::vector<uint8_t>& suffix = suffix_writer.buffer();
+
+  std::vector<std::vector<uint8_t>> requests(m);
+  for (uint64_t part = 0; part < m; ++part) {
+    std::vector<uint8_t>& out = requests[part];
+    out.reserve(prefix.size() + sizeof(uint64_t) + suffix.size());
+    ByteWriter writer(&out);
+    writer.WriteBytes(prefix.data(), prefix.size());
+    writer.WriteU64(part);
+    writer.WriteBytes(suffix.data(), suffix.size());
+  }
+  return requests;
 }
 
 StatusOr<std::vector<uint8_t>> MpqOptimizer::WorkerMain(
@@ -117,6 +174,111 @@ StatusOr<std::vector<uint8_t>> MpqOptimizer::WorkerMain(
   return writer.Release();
 }
 
+StatusOr<MpqResult> MpqOptimizer::FinalizeResponses(
+    const std::vector<std::vector<uint8_t>>& responses,
+    const MpqOptions& options) {
+  const size_t m = responses.size();
+
+  // Decode stage — sharded. Every response decodes into its own arena,
+  // so shards are fully independent; a small pool strip-mines them via
+  // an atomic cursor. finalize_threads = 1 (or m = 1) degenerates to the
+  // serial loop with zero thread overhead.
+  std::vector<DecodedResponse> decoded(m);
+  const auto decode_one = [&](size_t part) {
+    DecodedResponse& d = decoded[part];
+    ByteReader reader(responses[part]);
+    d.status = DeserializeReport(&reader, &d.report);
+    if (!d.status.ok()) return;
+    StatusOr<std::vector<PlanId>> plans = DeserializePlanSet(&reader, &d.arena);
+    if (!plans.ok()) {
+      d.status = plans.status();
+      return;
+    }
+    d.plans = std::move(plans).value();
+  };
+  size_t threads = options.finalize_threads > 0
+                       ? static_cast<size_t>(options.finalize_threads)
+                       : std::max<size_t>(std::thread::hardware_concurrency(), 1);
+  threads = std::min(threads, m);
+  if (threads <= 1) {
+    for (size_t part = 0; part < m; ++part) decode_one(part);
+  } else {
+    std::atomic<size_t> cursor{0};
+    const auto drain = [&]() {
+      for (;;) {
+        const size_t part = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (part >= m) return;
+        decode_one(part);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) pool.emplace_back(drain);
+    for (std::thread& t : pool) t.join();
+  }
+  // Deterministic error reporting: the first failing partition wins,
+  // exactly as the serial pass would have reported it.
+  for (size_t part = 0; part < m; ++part) {
+    if (!decoded[part].status.ok()) return decoded[part].status;
+  }
+
+  // Merge stage — serial, in partition order. ParetoInsert is
+  // order-dependent (alpha-dominance rejection, then weak-dominance
+  // eviction, then append), so the prune must see the plans in exactly
+  // the sequence the serial pass would; only the decode above is
+  // parallel.
+  MpqResult result;
+  result.worker_seconds.resize(m);
+  result.worker_memo_sets.resize(m);
+  std::vector<ShardPlanRef> winners;
+  const auto cost_of = [&](const ShardPlanRef& ref) -> const CostVector& {
+    return decoded[ref.part].arena.node(ref.id).cost;
+  };
+  for (size_t part = 0; part < m; ++part) {
+    const DecodedResponse& d = decoded[part];
+    result.worker_seconds[part] = d.report.seconds;
+    result.worker_memo_sets[part] =
+        static_cast<int64_t>(d.report.admissible_sets);
+    result.total_splits += static_cast<int64_t>(d.report.splits_tried);
+    result.total_plans_costed += static_cast<int64_t>(d.report.plans_costed);
+    if (d.report.seconds > result.max_worker_seconds) {
+      result.max_worker_seconds = d.report.seconds;
+    }
+    if (result.worker_memo_sets[part] > result.max_worker_memo_sets) {
+      result.max_worker_memo_sets = result.worker_memo_sets[part];
+    }
+
+    // FinalPrune (paper Algorithm 1): compare partition-optimal plans.
+    for (PlanId id : d.plans) {
+      const ShardPlanRef ref{static_cast<uint32_t>(part), id};
+      if (options.objective == Objective::kTime) {
+        if (winners.empty() ||
+            cost_of(ref).time() < cost_of(winners[0]).time()) {
+          if (winners.empty()) {
+            winners.push_back(ref);
+          } else {
+            winners[0] = ref;
+          }
+        }
+      } else {
+        ParetoInsert(&winners, ref, cost_of, options.alpha);
+      }
+    }
+  }
+  if (winners.empty()) {
+    return Status::Internal("no plan returned by any worker");
+  }
+  // Materialize only the winning plans into the result arena (in
+  // frontier order). The shards — and with them every losing plan — are
+  // dropped wholesale, which also keeps plan-cache entries minimal.
+  result.best.reserve(winners.size());
+  for (const ShardPlanRef& ref : winners) {
+    result.best.push_back(
+        CopyPlan(decoded[ref.part].arena, ref.id, &result.arena));
+  }
+  return result;
+}
+
 StatusOr<MpqResult> MpqOptimizer::Optimize(const Query& query) {
   Status valid = query.Validate();
   if (!valid.ok()) return valid;
@@ -124,13 +286,11 @@ StatusOr<MpqResult> MpqOptimizer::Optimize(const Query& query) {
   valid = ValidateNumWorkers(m, query.num_tables(), options_.space);
   if (!valid.ok()) return valid;
 
-  // Phase 1 (master): build one request per partition.
+  // Phase 1 (master): build the per-partition requests in one batch
+  // (the query is serialized once, not once per partition).
   const auto serialize_start = std::chrono::steady_clock::now();
-  std::vector<std::vector<uint8_t>> requests;
-  requests.reserve(m);
-  for (uint64_t part = 0; part < m; ++part) {
-    requests.push_back(BuildRequest(query, part, options_));
-  }
+  const std::vector<std::vector<uint8_t>> requests =
+      BuildRequests(query, options_);
   const auto serialize_end = std::chrono::steady_clock::now();
 
   // Phase 2 (workers): one task per partition, no shared state.
@@ -139,54 +299,12 @@ StatusOr<MpqResult> MpqOptimizer::Optimize(const Query& query) {
   if (!round_or.ok()) return round_or.status();
   RoundResult& round = round_or.value();
 
-  // Phase 3 (master): decode responses and final-prune the m plans.
+  // Phase 3 (master): sharded decode + final prune.
   const auto merge_start = std::chrono::steady_clock::now();
-  MpqResult result;
-  result.worker_seconds.resize(m);
-  result.worker_memo_sets.resize(m);
-  for (uint64_t part = 0; part < m; ++part) {
-    ByteReader reader(round.responses[part]);
-    WorkerReport report;
-    Status s = DeserializeReport(&reader, &report);
-    if (!s.ok()) return s;
-    StatusOr<std::vector<PlanId>> plans =
-        DeserializePlanSet(&reader, &result.arena);
-    if (!plans.ok()) return plans.status();
-
-    result.worker_seconds[part] = report.seconds;
-    result.worker_memo_sets[part] =
-        static_cast<int64_t>(report.admissible_sets);
-    result.total_splits += static_cast<int64_t>(report.splits_tried);
-    result.total_plans_costed += static_cast<int64_t>(report.plans_costed);
-    if (report.seconds > result.max_worker_seconds) {
-      result.max_worker_seconds = report.seconds;
-    }
-    if (result.worker_memo_sets[part] > result.max_worker_memo_sets) {
-      result.max_worker_memo_sets = result.worker_memo_sets[part];
-    }
-
-    // FinalPrune (paper Algorithm 1): compare partition-optimal plans.
-    if (options_.objective == Objective::kTime) {
-      for (PlanId id : plans.value()) {
-        if (result.best.empty() ||
-            result.arena.node(id).cost.time() <
-                result.arena.node(result.best[0]).cost.time()) {
-          if (result.best.empty()) {
-            result.best.push_back(id);
-          } else {
-            result.best[0] = id;
-          }
-        }
-      }
-    } else {
-      const auto cost_of = [&](PlanId id) -> const CostVector& {
-        return result.arena.node(id).cost;
-      };
-      for (PlanId id : plans.value()) {
-        ParetoInsert(&result.best, id, cost_of, options_.alpha);
-      }
-    }
-  }
+  StatusOr<MpqResult> finalized =
+      FinalizeResponses(round.responses, options_);
+  if (!finalized.ok()) return finalized.status();
+  MpqResult result = std::move(finalized).value();
   const auto merge_end = std::chrono::steady_clock::now();
 
   result.master_seconds =
@@ -196,9 +314,6 @@ StatusOr<MpqResult> MpqOptimizer::Optimize(const Query& query) {
   result.wall_seconds = round.wall_seconds + result.master_seconds;
   result.network_bytes = round.traffic.bytes_sent;
   result.network_messages = round.traffic.messages;
-  if (result.best.empty()) {
-    return Status::Internal("no plan returned by any worker");
-  }
   return result;
 }
 

@@ -53,6 +53,13 @@ struct MpqOptions {
   std::shared_ptr<ExecutionBackend> backend;
   CostModelOptions cost_options;
   int64_t max_memo_entries = int64_t{1} << 28;
+  /// Threads for the master's Phase-3 response decode (sharded finalize).
+  /// 0 = auto (hardware concurrency, capped by the partition count);
+  /// 1 = fully serial. Plan choice is byte-identical at every setting:
+  /// only the decode is parallel, the prune itself merges the partitions
+  /// in their original order. Not part of the plan-cache fingerprint —
+  /// a master-side execution knob cannot change the answer.
+  int finalize_threads = 0;
 };
 
 /// Everything the benchmarks need from one run.
@@ -109,6 +116,24 @@ class MpqOptimizer {
   static std::vector<uint8_t> BuildRequest(const Query& query,
                                            uint64_t partition_id,
                                            const MpqOptions& options);
+
+  /// Builds all options.num_workers partition requests at once,
+  /// byte-identical to per-partition BuildRequest calls but serializing
+  /// the query and the option tail exactly once: each request is the
+  /// shared prefix, its partition id, and the shared suffix spliced into
+  /// one pre-sized buffer. This is the master's Phase-1 scatter path.
+  static std::vector<std::vector<uint8_t>> BuildRequests(
+      const Query& query, const MpqOptions& options);
+
+  /// The master's Phase 3: decodes the per-partition responses (in
+  /// parallel when options.finalize_threads allows) and final-prunes the
+  /// partition-optimal plans into `MpqResult::best`. Fills the plan/stat
+  /// fields only — timing and traffic are the caller's. Plan choice is
+  /// byte-identical to a fully serial pass: the prune always merges the
+  /// partitions in index order. Exposed for tests and benchmarks.
+  static StatusOr<MpqResult> FinalizeResponses(
+      const std::vector<std::vector<uint8_t>>& responses,
+      const MpqOptions& options);
 
  private:
   MpqOptions options_;

@@ -8,6 +8,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -112,23 +113,66 @@ void Socket::Close() {
 }
 
 Status SendFrame(int fd, uint8_t kind, const std::vector<uint8_t>& payload) {
-  if (payload.size() > kMaxFramePayloadBytes) {
+  ConstSpan part{payload.data(), payload.size()};
+  return SendFrameV(fd, kind, &part, 1);
+}
+
+Status SendFrameV(int fd, uint8_t kind, const ConstSpan* parts,
+                  size_t num_parts) {
+  if (num_parts > kMaxSendSpans) {
+    return Status::InvalidArgument("too many frame parts");
+  }
+  uint64_t length = 0;
+  for (size_t i = 0; i < num_parts; ++i) length += parts[i].size;
+  if (length > kMaxFramePayloadBytes) {
     return Status::InvalidArgument("frame payload of " +
-                                   std::to_string(payload.size()) +
+                                   std::to_string(length) +
                                    " bytes exceeds the frame size limit");
   }
   uint8_t header[kFrameHeaderBytes];
   header[0] = kind;
-  const uint64_t length = payload.size();
   for (int i = 0; i < 8; ++i) {
     header[1 + i] = static_cast<uint8_t>(length >> (8 * i));
   }
-  Status s = WriteAllBytes(fd, header, sizeof(header));
-  if (!s.ok()) return s;
-  if (!payload.empty()) {
-    s = WriteAllBytes(fd, payload.data(), payload.size());
+
+  struct iovec iov[1 + kMaxSendSpans];
+  iov[0].iov_base = header;
+  iov[0].iov_len = sizeof(header);
+  size_t iov_count = 1;
+  for (size_t i = 0; i < num_parts; ++i) {
+    if (parts[i].size == 0) continue;  // sendmsg dislikes zero-length iovecs
+    iov[iov_count].iov_base =
+        const_cast<uint8_t*>(parts[i].data);  // sendmsg never writes
+    iov[iov_count].iov_len = parts[i].size;
+    ++iov_count;
   }
-  return s;
+
+  // Gathering send with partial-write resume: after a short write, skip
+  // fully-sent iovecs and bump the partially-sent one. sendmsg (not
+  // writev) so MSG_NOSIGNAL keeps SIGPIPE suppressed, matching send().
+  size_t first = 0;
+  while (first < iov_count) {
+    struct msghdr msg;
+    std::memset(&msg, 0, sizeof(msg));
+    msg.msg_iov = &iov[first];
+    msg.msg_iovlen = iov_count - first;
+    const ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("send failed"));
+    }
+    if (w == 0) return Status::Internal("send wrote zero bytes");
+    size_t done = static_cast<size_t>(w);
+    while (first < iov_count && done >= iov[first].iov_len) {
+      done -= iov[first].iov_len;
+      ++first;
+    }
+    if (first < iov_count && done > 0) {
+      iov[first].iov_base = static_cast<uint8_t*>(iov[first].iov_base) + done;
+      iov[first].iov_len -= done;
+    }
+  }
+  return Status::OK();
 }
 
 StatusOr<bool> WaitReadable(int fd, int timeout_ms) {
@@ -145,30 +189,78 @@ StatusOr<bool> WaitReadable(int fd, int timeout_ms) {
   }
 }
 
-Status RecvFrame(int fd, Frame* frame, int timeout_ms) {
-  Deadline deadline;
-  const Deadline* deadline_ptr = nullptr;
-  if (timeout_ms >= 0) {
-    deadline = std::chrono::steady_clock::now() +
-               std::chrono::milliseconds(timeout_ms);
-    deadline_ptr = &deadline;
-  }
+namespace {
+
+/// Shared header stage of RecvFrame/RecvFrameSplit: reads the frame
+/// header and validates the length against the frame size limit.
+Status RecvFrameHeader(int fd, uint8_t* kind, uint64_t* length,
+                       const Deadline* deadline) {
   uint8_t header[kFrameHeaderBytes];
   Status s = ReadFullBytes(fd, header, sizeof(header),
-                           /*at_frame_start=*/true, deadline_ptr);
+                           /*at_frame_start=*/true, deadline);
   if (!s.ok()) return s;
-  uint64_t length = 0;
+  uint64_t parsed = 0;
   for (int i = 0; i < 8; ++i) {
-    length |= static_cast<uint64_t>(header[1 + i]) << (8 * i);
+    parsed |= static_cast<uint64_t>(header[1 + i]) << (8 * i);
   }
-  if (length > kMaxFramePayloadBytes) {
-    return Status::Corruption("frame length " + std::to_string(length) +
+  if (parsed > kMaxFramePayloadBytes) {
+    return Status::Corruption("frame length " + std::to_string(parsed) +
                               " exceeds the frame size limit");
   }
-  frame->kind = header[0];
+  *kind = header[0];
+  *length = parsed;
+  return Status::OK();
+}
+
+const Deadline* MakeDeadline(int timeout_ms, Deadline* storage) {
+  if (timeout_ms < 0) return nullptr;
+  *storage = std::chrono::steady_clock::now() +
+             std::chrono::milliseconds(timeout_ms);
+  return storage;
+}
+
+}  // namespace
+
+Status RecvFrame(int fd, Frame* frame, int timeout_ms) {
+  Deadline deadline;
+  const Deadline* deadline_ptr = MakeDeadline(timeout_ms, &deadline);
+  uint64_t length = 0;
+  Status s = RecvFrameHeader(fd, &frame->kind, &length, deadline_ptr);
+  if (!s.ok()) return s;
+  // resize() reuses the vector's capacity — callers that keep one Frame
+  // alive across a persistent connection pay no allocation in steady
+  // state.
   frame->payload.resize(length);
   if (length > 0) {
     s = ReadFullBytes(fd, frame->payload.data(), length,
+                      /*at_frame_start=*/false, deadline_ptr);
+  }
+  return s;
+}
+
+Status RecvFrameSplit(int fd, uint8_t* kind, uint8_t* header,
+                      size_t header_bytes, std::vector<uint8_t>* body,
+                      int timeout_ms) {
+  Deadline deadline;
+  const Deadline* deadline_ptr = MakeDeadline(timeout_ms, &deadline);
+  uint64_t length = 0;
+  Status s = RecvFrameHeader(fd, kind, &length, deadline_ptr);
+  if (!s.ok()) return s;
+  if (length < header_bytes) {
+    return Status::Corruption("frame of " + std::to_string(length) +
+                              " bytes is shorter than its " +
+                              std::to_string(header_bytes) +
+                              "-byte payload header");
+  }
+  if (header_bytes > 0) {
+    s = ReadFullBytes(fd, header, header_bytes,
+                      /*at_frame_start=*/false, deadline_ptr);
+    if (!s.ok()) return s;
+  }
+  const size_t body_bytes = length - header_bytes;
+  body->resize(body_bytes);
+  if (body_bytes > 0) {
+    s = ReadFullBytes(fd, body->data(), body_bytes,
                       /*at_frame_start=*/false, deadline_ptr);
   }
   return s;

@@ -79,6 +79,36 @@ constexpr uint8_t kSessionFrameKindBase = 0x80;
 /// broken connection returns kInternal.
 Status SendFrame(int fd, uint8_t kind, const std::vector<uint8_t>& payload);
 
+/// A non-owning view of contiguous bytes, for gather-sends.
+struct ConstSpan {
+  const uint8_t* data = nullptr;
+  size_t size = 0;
+};
+
+/// Maximum number of payload pieces one SendFrameV call accepts. The
+/// header rides in the same gather list, so the whole frame fits a
+/// stack-allocated iovec array and (buffers permitting) one syscall.
+constexpr size_t kMaxSendSpans = 8;
+
+/// Sends one frame whose payload is the concatenation of `parts` —
+/// byte-identical on the wire to SendFrame over the concatenated bytes,
+/// but with zero sender-side copies: header and all parts go out through
+/// a single gathering sendmsg (resumed across partial writes). This is
+/// how the master scatters without assembling per-worker buffers.
+Status SendFrameV(int fd, uint8_t kind, const ConstSpan* parts,
+                  size_t num_parts);
+
+/// Receives one frame whose payload starts with a fixed-size header (e.g.
+/// the RPC reply's compute-seconds prefix), splitting it off in place:
+/// `header_bytes` bytes land in `header`, the rest in `*body`. Lets a
+/// caller strip a prefix without the copy RecvFrame + erase would cost,
+/// and reuses `body`'s capacity across frames on persistent connections.
+/// A frame shorter than `header_bytes` is kCorruption. Timeout semantics
+/// match RecvFrame.
+Status RecvFrameSplit(int fd, uint8_t* kind, uint8_t* header,
+                      size_t header_bytes, std::vector<uint8_t>* body,
+                      int timeout_ms = -1);
+
 /// Waits up to `timeout_ms` for `fd` to become readable (data pending, or
 /// EOF/error — a subsequent read will not block). Returns true when
 /// readable, false on timeout. Lets a serving loop wait for work in

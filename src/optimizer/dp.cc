@@ -3,8 +3,11 @@
 #include "optimizer/dp.h"
 
 #include <chrono>
+#include <cstring>
 #include <limits>
+#include <type_traits>
 
+#include "common/arena.h"
 #include "cost/cardinality.h"
 #include "optimizer/io_dp.h"
 #include "optimizer/pruning.h"
@@ -36,10 +39,15 @@ struct ParetoPlanRef {
 };
 
 /// Memo entry of the multi-objective DP: the alpha-approximate Pareto set
-/// of plans for one admissible table set.
+/// of plans for one admissible table set. The frontier is a finished,
+/// immutable arena-allocated array — frontiers are built once in a shared
+/// scratch vector and flushed here, so the memo does one bump allocation
+/// per admissible set instead of one heap vector per set (the hottest
+/// allocation of the multi-objective DP).
 struct ParetoEntry {
   double card = 0;
-  std::vector<ParetoPlanRef> plans;
+  const ParetoPlanRef* plans = nullptr;
+  uint32_t num_plans = 0;
 };
 
 class ScalarDp {
@@ -162,7 +170,8 @@ class ParetoDp {
       if (r >= 0) {
         ParetoEntry& e = memo_[static_cast<size_t>(r)];
         e.card = scan_card_[t];
-        e.plans.push_back({scan_cost_[t], 0, 0, 0, JoinAlgorithm::kScan});
+        scratch_.assign(1, {scan_cost_[t], 0, 0, 0, JoinAlgorithm::kScan});
+        FlushScratch(&e);
       }
     }
     const auto cost_of = [](const ParetoPlanRef& p) -> const CostVector& {
@@ -173,11 +182,12 @@ class ParetoDp {
       index_.ForEachSetOfCard(k, [&](TableSet u, int64_t rank) {
         ParetoEntry entry;
         entry.card = estimator_.Cardinality(u);
+        scratch_.clear();
         const auto try_split = [&](TableSet left, const ParetoEntry& le,
                                    const ParetoEntry& re) {
           ++stats->splits_tried;
-          for (uint32_t li = 0; li < le.plans.size(); ++li) {
-            for (uint32_t ri = 0; ri < re.plans.size(); ++ri) {
+          for (uint32_t li = 0; li < le.num_plans; ++li) {
+            for (uint32_t ri = 0; ri < re.num_plans; ++ri) {
               for (JoinAlgorithm alg : kJoinAlgorithms) {
                 ++stats->plans_costed;
                 ParetoPlanRef cand;
@@ -188,7 +198,7 @@ class ParetoDp {
                 cand.left_idx = li;
                 cand.right_idx = ri;
                 cand.alg = alg;
-                ParetoInsert(&entry.plans, cand, cost_of, alpha_);
+                ParetoInsert(&scratch_, cand, cost_of, alpha_);
               }
             }
           }
@@ -197,10 +207,12 @@ class ParetoDp {
           for (int t : u) {
             if (!index_.InnerAllowed(t, u)) continue;
             const int64_t lrank = index_.RankWithout(u, rank, t);
+            const ParetoPlanRef scan_plan = {scan_cost_[t], 0, 0, 0,
+                                             JoinAlgorithm::kScan};
             ParetoEntry scan;
             scan.card = scan_card_[t];
-            scan.plans.push_back(
-                {scan_cost_[t], 0, 0, 0, JoinAlgorithm::kScan});
+            scan.plans = &scan_plan;
+            scan.num_plans = 1;
             try_split(u.Without(t), memo_[static_cast<size_t>(lrank)], scan);
           }
         } else {
@@ -210,8 +222,9 @@ class ParetoDp {
                           memo_[static_cast<size_t>(rrank)]);
               });
         }
-        MPQOPT_CHECK(!entry.plans.empty());
-        memo_[static_cast<size_t>(rank)] = std::move(entry);
+        MPQOPT_CHECK(!scratch_.empty());
+        FlushScratch(&entry);
+        memo_[static_cast<size_t>(rank)] = entry;
       });
     }
   }
@@ -220,7 +233,7 @@ class ParetoDp {
   size_t FrontierSize(TableSet s) const {
     const int64_t rank = index_.Rank(s);
     MPQOPT_CHECK_GE(rank, 0);
-    return memo_[static_cast<size_t>(rank)].plans.size();
+    return memo_[static_cast<size_t>(rank)].num_plans;
   }
 
   /// Materializes plan `idx` of the frontier of `s` into `arena`.
@@ -241,12 +254,29 @@ class ParetoDp {
   }
 
  private:
+  /// Moves the scratch frontier into an immutable arena array in `entry`.
+  void FlushScratch(ParetoEntry* entry) {
+    static_assert(std::is_trivially_copyable_v<ParetoPlanRef>);
+    ParetoPlanRef* plans =
+        frontier_arena_.AllocateArray<ParetoPlanRef>(scratch_.size());
+    if (!scratch_.empty()) {
+      std::memcpy(plans, scratch_.data(),
+                  scratch_.size() * sizeof(ParetoPlanRef));
+    }
+    entry->plans = plans;
+    entry->num_plans = static_cast<uint32_t>(scratch_.size());
+  }
+
   const Query& query_;
   const PartitionIndex& index_;
   const CostModel& model_;
   double alpha_;
   CardinalityEstimator estimator_;
   std::vector<ParetoEntry> memo_;
+  /// Bump storage for finished frontiers; scratch_ is the one mutable
+  /// frontier under construction, reused across admissible sets.
+  Arena frontier_arena_;
+  std::vector<ParetoPlanRef> scratch_;
   double scan_card_[kMaxTables] = {};
   CostVector scan_cost_[kMaxTables];
 };

@@ -2,7 +2,63 @@
 
 #include "plan/plan_serde.h"
 
+#include <cstring>
+
 namespace mpqopt {
+namespace {
+
+/// Raw-cursor plan decoder — the master's Phase-3 hot loop. Bounds
+/// checks are plain pointer comparisons and failure is a bool, so the
+/// per-node cost carries no Status/StatusOr construction. The caller
+/// reruns the Status-returning DeserializePlan on failure to produce
+/// the exact legacy error; corruption is the cold path, so the double
+/// decode there costs nothing in practice. Validation is identical:
+/// node tag range, scan table range, join operand disjointness, cost
+/// arity range, and never reading past `end`.
+bool FastDecodePlan(const uint8_t** cursor, const uint8_t* end,
+                    PlanArena* arena, PlanId* out) {
+  const uint8_t* p = *cursor;
+  if (p >= end) return false;
+  const uint8_t tag = *p++;
+  if (tag > static_cast<uint8_t>(JoinAlgorithm::kSortMergeJoin)) return false;
+  const auto alg = static_cast<JoinAlgorithm>(tag);
+  PlanId left = kInvalidPlanId;
+  PlanId right = kInvalidPlanId;
+  uint32_t table = 0;
+  if (alg == JoinAlgorithm::kScan) {
+    if (end - p < 4) return false;
+    std::memcpy(&table, p, 4);
+    p += 4;
+    if (table >= static_cast<uint32_t>(kMaxTables)) return false;
+  } else {
+    *cursor = p;
+    if (!FastDecodePlan(cursor, end, arena, &left)) return false;
+    if (!FastDecodePlan(cursor, end, arena, &right)) return false;
+    p = *cursor;
+    if (arena->node(left).tables.Intersects(arena->node(right).tables)) {
+      return false;
+    }
+  }
+  if (end - p < 9) return false;  // cardinality + cost arity
+  double cardinality = 0;
+  std::memcpy(&cardinality, p, 8);
+  p += 8;
+  const uint8_t arity = *p++;
+  if (arity < 1 || arity > kMaxCostMetrics) return false;
+  if (end - p < 8 * static_cast<ptrdiff_t>(arity)) return false;
+  CostVector cost(arity);
+  for (int i = 0; i < arity; ++i) {
+    std::memcpy(&cost[i], p, 8);
+    p += 8;
+  }
+  *cursor = p;
+  *out = alg == JoinAlgorithm::kScan
+             ? arena->MakeScan(static_cast<int>(table), cardinality, cost)
+             : arena->MakeJoin(alg, left, right, cardinality, cost);
+  return true;
+}
+
+}  // namespace
 
 void SerializePlan(const PlanArena& arena, PlanId id, ByteWriter* writer) {
   const PlanNode& node = arena.node(id);
@@ -67,10 +123,28 @@ StatusOr<std::vector<PlanId>> DeserializePlanSet(ByteReader* reader,
   if (count > 1u << 24) return Status::Corruption("plan set too large");
   std::vector<PlanId> ids;
   ids.reserve(count);
+  // Pre-size the arena from the wire: a serialized node is at least 18
+  // bytes (tag + cardinality + 1-metric cost), so remaining/18 bounds
+  // the node count and one Reserve replaces the incremental growth the
+  // decode loop would otherwise pay. Range-checked: `remaining` is
+  // bounded by the frame size limit, not attacker-declared counts.
+  arena->Reserve(arena->size() + reader->remaining() / 18 + 1);
   for (uint32_t i = 0; i < count; ++i) {
-    StatusOr<PlanId> id = DeserializePlan(reader, arena);
-    if (!id.ok()) return id.status();
-    ids.push_back(id.value());
+    const uint8_t* cursor = reader->cursor();
+    const uint8_t* const end = cursor + reader->remaining();
+    PlanId id = kInvalidPlanId;
+    if (FastDecodePlan(&cursor, end, arena, &id)) {
+      reader->Advance(static_cast<size_t>(cursor - reader->cursor()));
+      ids.push_back(id);
+      continue;
+    }
+    // Cold path: rerun the Status-returning decoder from the same
+    // offset for the exact error text (partial nodes appended by the
+    // failed fast pass stay in the arena — callers discard it on error,
+    // just as they did when the recursive decoder failed mid-plan).
+    StatusOr<PlanId> slow = DeserializePlan(reader, arena);
+    if (!slow.ok()) return slow.status();
+    ids.push_back(slow.value());
   }
   return ids;
 }

@@ -18,6 +18,7 @@
 #include "cluster/async_batch_backend.h"
 #include "cluster/task_registry.h"
 #include "mpq/mpq.h"
+#include "plan/plan_serde.h"
 #include "sma/sma.h"
 #include "tests/rpc_test_util.h"
 
@@ -173,6 +174,42 @@ TEST_P(BackendTest, MpqOptimizeMatchesDefaultBackend) {
   EXPECT_EQ(a.value().network_bytes, b.value().network_bytes);
   EXPECT_EQ(a.value().network_messages, b.value().network_messages);
   EXPECT_EQ(a.value().max_worker_memo_sets, b.value().max_worker_memo_sets);
+}
+
+TEST_P(BackendTest, ShardedFinalizeMatchesSerialOnEveryBackend) {
+  // The master's sharded Phase-3 decode is a host-side knob; over every
+  // backend (and both objectives) it must leave the answer untouched:
+  // byte-identical serialized plans, identical traffic and memo stats.
+  const Query q = MakeQuery(9, 420);
+  for (Objective objective : {Objective::kTime, Objective::kTimeAndBuffer}) {
+    MpqOptions serial;
+    serial.space = PlanSpace::kLinear;
+    serial.num_workers = 8;
+    serial.objective = objective;
+    serial.alpha = 1.2;
+    serial.backend = MakeTestBackend();
+    serial.finalize_threads = 1;
+    MpqOptions sharded = serial;
+    sharded.finalize_threads = 4;
+
+    MpqOptimizer serial_optimizer(serial);
+    MpqOptimizer sharded_optimizer(sharded);
+    StatusOr<MpqResult> a = serial_optimizer.Optimize(q);
+    StatusOr<MpqResult> b = sharded_optimizer.Optimize(q);
+    ASSERT_TRUE(a.ok() && b.ok()) << a.status().ToString() << " / "
+                                  << b.status().ToString();
+
+    ByteWriter plans_a;
+    ByteWriter plans_b;
+    SerializePlanSet(a.value().arena, a.value().best, &plans_a);
+    SerializePlanSet(b.value().arena, b.value().best, &plans_b);
+    EXPECT_EQ(plans_a.buffer(), plans_b.buffer());
+    EXPECT_EQ(a.value().network_bytes, b.value().network_bytes);
+    EXPECT_EQ(a.value().network_messages, b.value().network_messages);
+    EXPECT_EQ(a.value().worker_memo_sets, b.value().worker_memo_sets);
+    EXPECT_EQ(a.value().total_splits, b.value().total_splits);
+    EXPECT_EQ(a.value().total_plans_costed, b.value().total_plans_costed);
+  }
 }
 
 TEST_P(BackendTest, SmaRunsOnEveryBackend) {

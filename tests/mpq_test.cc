@@ -6,6 +6,7 @@
 
 #include "catalog/generator.h"
 #include "optimizer/pruning.h"
+#include "plan/plan_serde.h"
 #include "plan/plan_validator.h"
 
 namespace mpqopt {
@@ -199,6 +200,103 @@ TEST(MpqTest, MultiObjectiveMergeCoversSerialFrontier) {
   // With alpha = 1 and exact per-partition frontiers, the merged frontier
   // must weakly cover the serial frontier.
   EXPECT_TRUE(AlphaCovers(merged, reference, 1.0 + 1e-12));
+}
+
+TEST(MpqTest, BatchedRequestsMatchPerPartitionRequests) {
+  // BuildRequests serializes the query and option tail once and splices
+  // per-partition buffers; the result must be byte-identical to the
+  // legacy one-BuildRequest-per-partition loop, or workers would decode
+  // different tasks depending on which master path scattered them.
+  const Query q = RandomQuery(10, 21);
+  for (Objective objective : {Objective::kTime, Objective::kTimeAndBuffer}) {
+    MpqOptions opts = Options(PlanSpace::kBushy, 8);
+    opts.objective = objective;
+    opts.interesting_orders = (objective == Objective::kTime);
+    const std::vector<std::vector<uint8_t>> batched =
+        MpqOptimizer::BuildRequests(q, opts);
+    ASSERT_EQ(batched.size(), 8u);
+    for (uint64_t part = 0; part < 8; ++part) {
+      EXPECT_EQ(batched[part], MpqOptimizer::BuildRequest(q, part, opts))
+          << "partition " << part;
+    }
+  }
+}
+
+std::vector<uint8_t> SerializedBest(const MpqResult& result) {
+  ByteWriter writer;
+  SerializePlanSet(result.arena, result.best, &writer);
+  return writer.Release();
+}
+
+TEST(MpqTest, ShardedFinalizeIsByteIdenticalToSerial) {
+  // The sharded Phase-3 parallelizes only the response decode; the
+  // final prune still merges partitions in order. Any thread count must
+  // therefore produce byte-identical plans and identical statistics —
+  // for the single-plan kTime objective and for the order-dependent
+  // multi-objective frontier alike.
+  const Query q = RandomQuery(9, 22);
+  for (Objective objective : {Objective::kTime, Objective::kTimeAndBuffer}) {
+    MpqOptions opts = Options(PlanSpace::kLinear, 8);
+    opts.objective = objective;
+    opts.alpha = 1.2;
+    const std::vector<std::vector<uint8_t>> requests =
+        MpqOptimizer::BuildRequests(q, opts);
+    std::vector<std::vector<uint8_t>> responses;
+    for (const std::vector<uint8_t>& request : requests) {
+      StatusOr<std::vector<uint8_t>> response =
+          MpqOptimizer::WorkerMain(request);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      responses.push_back(std::move(response).value());
+    }
+
+    MpqOptions serial = opts;
+    serial.finalize_threads = 1;
+    StatusOr<MpqResult> reference =
+        MpqOptimizer::FinalizeResponses(responses, serial);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+    for (int threads : {2, 4, 8}) {
+      MpqOptions sharded = opts;
+      sharded.finalize_threads = threads;
+      StatusOr<MpqResult> result =
+          MpqOptimizer::FinalizeResponses(responses, sharded);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(SerializedBest(result.value()),
+                SerializedBest(reference.value()))
+          << "threads=" << threads;
+      EXPECT_EQ(result.value().total_splits, reference.value().total_splits);
+      EXPECT_EQ(result.value().total_plans_costed,
+                reference.value().total_plans_costed);
+      EXPECT_EQ(result.value().worker_memo_sets,
+                reference.value().worker_memo_sets);
+      EXPECT_EQ(result.value().max_worker_memo_sets,
+                reference.value().max_worker_memo_sets);
+    }
+  }
+}
+
+TEST(MpqTest, FinalizeSurfacesTheFirstBadResponseByPartitionIndex) {
+  const Query q = RandomQuery(8, 23);
+  MpqOptions opts = Options(PlanSpace::kLinear, 4);
+  std::vector<std::vector<uint8_t>> responses;
+  for (const std::vector<uint8_t>& request :
+       MpqOptimizer::BuildRequests(q, opts)) {
+    StatusOr<std::vector<uint8_t>> response =
+        MpqOptimizer::WorkerMain(request);
+    ASSERT_TRUE(response.ok());
+    responses.push_back(std::move(response).value());
+  }
+  // Corrupt partitions 1 and 3: whatever the decode-thread interleaving,
+  // the reported failure must be partition 1 (deterministic errors).
+  responses[1] = {0xff, 0xff};
+  responses[3] = {0xff};
+  for (int threads : {1, 4}) {
+    MpqOptions sharded = opts;
+    sharded.finalize_threads = threads;
+    StatusOr<MpqResult> result =
+        MpqOptimizer::FinalizeResponses(responses, sharded);
+    ASSERT_FALSE(result.ok());
+  }
 }
 
 TEST(MpqTest, WorkerSecondsPopulatedPerPartition) {

@@ -324,6 +324,131 @@ TEST(FrameTransportTest, ConnectTimeoutIsBounded) {
   }
 }
 
+TEST(FrameTransportTest, GatherSendMatchesSingleBufferSend) {
+  // A frame assembled from spans must be byte-identical on the wire to
+  // the same payload sent through SendFrame — the receiver cannot tell
+  // which path produced it.
+  TcpPair pair = MakeTcpPair();
+  const std::vector<uint8_t> a = {1, 2, 3};
+  const std::vector<uint8_t> b = {};  // empty parts are legal
+  const std::vector<uint8_t> c = {4, 5, 6, 7, 8};
+  const ConstSpan parts[3] = {{a.data(), a.size()},
+                              {b.data(), b.size()},
+                              {c.data(), c.size()}};
+  ASSERT_TRUE(SendFrameV(pair.client.fd(), 9, parts, 3).ok());
+
+  std::vector<uint8_t> concat = a;
+  concat.insert(concat.end(), c.begin(), c.end());
+  ASSERT_TRUE(SendFrame(pair.client.fd(), 9, concat).ok());
+
+  Frame from_spans;
+  Frame from_buffer;
+  ASSERT_TRUE(RecvFrame(pair.server.fd(), &from_spans).ok());
+  ASSERT_TRUE(RecvFrame(pair.server.fd(), &from_buffer).ok());
+  EXPECT_EQ(from_spans.kind, from_buffer.kind);
+  EXPECT_EQ(from_spans.payload, from_buffer.payload);
+}
+
+TEST(FrameTransportTest, GatherSendAllEmptyPartsIsAnEmptyFrame) {
+  TcpPair pair = MakeTcpPair();
+  const ConstSpan parts[2] = {{nullptr, 0}, {nullptr, 0}};
+  ASSERT_TRUE(SendFrameV(pair.client.fd(), 3, parts, 2).ok());
+  Frame frame;
+  ASSERT_TRUE(RecvFrame(pair.server.fd(), &frame).ok());
+  EXPECT_EQ(frame.kind, 3);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(FrameTransportTest, GatherSendRejectsTooManyParts) {
+  TcpPair pair = MakeTcpPair();
+  const uint8_t byte = 0;
+  std::vector<ConstSpan> parts(kMaxSendSpans + 1, ConstSpan{&byte, 1});
+  const Status s =
+      SendFrameV(pair.client.fd(), 1, parts.data(), parts.size());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTransportTest, GatherSendSurvivesPartialWrites) {
+  // Shrink the send buffer so a multi-megabyte gather send cannot
+  // complete in one sendmsg call; the sender must resume mid-iovec
+  // (adjusting base/len of the partially-written part) while a slow
+  // reader drains. This is the partial-write path the RPC reply relies
+  // on for large plan sets.
+  TcpPair pair = MakeTcpPair();
+  const int small = 8 * 1024;
+  ASSERT_EQ(::setsockopt(pair.client.fd(), SOL_SOCKET, SO_SNDBUF, &small,
+                         sizeof(small)),
+            0);
+
+  std::vector<uint8_t> head(8);
+  for (size_t i = 0; i < head.size(); ++i) head[i] = static_cast<uint8_t>(i);
+  std::vector<uint8_t> body(3 << 20);
+  for (size_t i = 0; i < body.size(); ++i) {
+    body[i] = static_cast<uint8_t>(i * 131 + 17);
+  }
+  const ConstSpan parts[2] = {{head.data(), head.size()},
+                              {body.data(), body.size()}};
+
+  Frame frame;
+  Status recv_status = Status::OK();
+  std::thread reader([&] {
+    // Trickle-read so the writer repeatedly fills the tiny buffer.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    recv_status = RecvFrame(pair.server.fd(), &frame, /*timeout_ms=*/20000);
+  });
+  const Status sent = SendFrameV(pair.client.fd(), 11, parts, 2);
+  reader.join();
+  ASSERT_TRUE(sent.ok()) << sent.ToString();
+  ASSERT_TRUE(recv_status.ok()) << recv_status.ToString();
+  EXPECT_EQ(frame.kind, 11);
+  ASSERT_EQ(frame.payload.size(), head.size() + body.size());
+  EXPECT_EQ(std::memcmp(frame.payload.data(), head.data(), head.size()), 0);
+  EXPECT_EQ(std::memcmp(frame.payload.data() + head.size(), body.data(),
+                        body.size()),
+            0);
+}
+
+TEST(FrameTransportTest, RecvFrameSplitSeparatesHeaderFromBody) {
+  TcpPair pair = MakeTcpPair();
+  const std::vector<uint8_t> payload = {0xde, 0xad, 0xbe, 0xef, 1, 2, 3};
+  ASSERT_TRUE(SendFrame(pair.client.fd(), 21, payload).ok());
+  uint8_t kind = 0;
+  uint8_t header[4];
+  std::vector<uint8_t> body;
+  ASSERT_TRUE(
+      RecvFrameSplit(pair.server.fd(), &kind, header, sizeof(header), &body)
+          .ok());
+  EXPECT_EQ(kind, 21);
+  EXPECT_EQ(std::memcmp(header, payload.data(), sizeof(header)), 0);
+  EXPECT_EQ(body, (std::vector<uint8_t>{1, 2, 3}));
+
+  // The body buffer is reused across frames: same capacity, new contents.
+  body.reserve(1024);
+  const uint8_t* data_before = body.data();
+  const size_t cap_before = body.capacity();
+  ASSERT_TRUE(SendFrame(pair.client.fd(), 22, {9, 9, 9, 9, 5}).ok());
+  ASSERT_TRUE(
+      RecvFrameSplit(pair.server.fd(), &kind, header, sizeof(header), &body)
+          .ok());
+  EXPECT_EQ(kind, 22);
+  EXPECT_EQ(body, (std::vector<uint8_t>{5}));
+  EXPECT_EQ(body.data(), data_before);
+  EXPECT_EQ(body.capacity(), cap_before);
+}
+
+TEST(FrameTransportTest, RecvFrameSplitRejectsFrameShorterThanHeader) {
+  TcpPair pair = MakeTcpPair();
+  ASSERT_TRUE(SendFrame(pair.client.fd(), 1, {1, 2}).ok());
+  uint8_t kind = 0;
+  uint8_t header[8];
+  std::vector<uint8_t> body;
+  const Status s =
+      RecvFrameSplit(pair.server.fd(), &kind, header, sizeof(header), &body);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
 TEST(FrameTransportTest, ParseHostPort) {
   std::string host;
   int port = 0;

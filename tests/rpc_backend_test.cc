@@ -14,7 +14,9 @@
 #include <thread>
 
 #include "catalog/generator.h"
+#include "cluster/rpc_protocol.h"
 #include "cluster/task_registry.h"
+#include "common/copy_probe.h"
 #include "common/serialize.h"
 #include "mpq/heterogeneous.h"
 #include "mpq/mpq.h"
@@ -97,6 +99,85 @@ TEST(RpcBackendTest, ConnectionsPersistAcrossManyRounds) {
     ASSERT_TRUE(round.ok()) << round.status().ToString();
     EXPECT_EQ(round.value().responses, requests);
   }
+}
+
+TEST(RpcBackendTest, MasterSideScatterGatherMakesZeroPayloadCopies) {
+  // The copy probe counts every master-side payload assembly copy (the
+  // legacy Build*Payload builders). The production send path gathers
+  // header and body spans straight into sendmsg, so a full MPQ run over
+  // RPC — scatter, worker rounds, replies, finalize — must not move the
+  // probe at all in this (master) process.
+  RpcWorkerFarm farm;
+  farm.Start(2);
+  auto backend = ConnectFarm(farm);
+
+  MpqOptions opts;
+  opts.num_workers = 8;
+  opts.space = PlanSpace::kLinear;
+  opts.backend = backend;
+  const Query query = MakeQuery(10, 91);
+
+  const uint64_t copies_before = PayloadCopiesSoFar();
+  MpqOptimizer optimizer(opts);
+  StatusOr<MpqResult> result = optimizer.Optimize(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().best.empty());
+  EXPECT_EQ(PayloadCopiesSoFar() - copies_before, 0u)
+      << "master-side payload copy on the zero-copy path";
+
+  // Sanity: the probe is live — the legacy copying builder moves it.
+  const std::vector<uint8_t> body = {1, 2, 3};
+  (void)BuildRpcReplyPayload(0.5, body.data(), body.size());
+  EXPECT_EQ(PayloadCopiesSoFar() - copies_before, 1u);
+}
+
+TEST(RpcReplyWireTest, GatherReplyMatchesLegacyBuilderBytes) {
+  // SendRpcReply (gather spans) and the legacy BuildRpcReplyPayload +
+  // SendFrame (assemble-then-copy) must emit byte-identical frames: new
+  // masters keep understanding old workers and vice versa.
+  StatusOr<TcpListener> listener = TcpListener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  StatusOr<Socket> client = DialTcp(
+      "127.0.0.1:" + std::to_string(listener.value().port()), 2000);
+  ASSERT_TRUE(client.ok());
+  StatusOr<Socket> server = listener.value().Accept(2000);
+  ASSERT_TRUE(server.ok());
+
+  const double seconds = 0.015625;
+  std::vector<uint8_t> body(1000);
+  for (size_t i = 0; i < body.size(); ++i) {
+    body[i] = static_cast<uint8_t>(i * 13 + 5);
+  }
+
+  ASSERT_TRUE(SendRpcReply(client.value().fd(), RpcReplyKind::kOk, seconds,
+                           {body.data(), body.size()})
+                  .ok());
+  const std::vector<uint8_t> legacy =
+      BuildRpcReplyPayload(seconds, body.data(), body.size());
+  ASSERT_TRUE(SendFrame(client.value().fd(),
+                        static_cast<uint8_t>(RpcReplyKind::kOk), legacy)
+                  .ok());
+
+  Frame gathered;
+  Frame copied;
+  ASSERT_TRUE(RecvFrame(server.value().fd(), &gathered).ok());
+  ASSERT_TRUE(RecvFrame(server.value().fd(), &copied).ok());
+  EXPECT_EQ(gathered.kind, copied.kind);
+  EXPECT_EQ(gathered.payload, copied.payload);
+
+  // The split receiver decodes the seconds header off the same bytes.
+  ASSERT_TRUE(SendRpcReply(client.value().fd(), RpcReplyKind::kTaskError,
+                           seconds, {body.data(), body.size()})
+                  .ok());
+  uint8_t kind = 0;
+  double decoded_seconds = 0;
+  std::vector<uint8_t> decoded_body;
+  ASSERT_TRUE(RecvRpcReply(server.value().fd(), &kind, &decoded_seconds,
+                           &decoded_body, /*timeout_ms=*/2000)
+                  .ok());
+  EXPECT_EQ(kind, static_cast<uint8_t>(RpcReplyKind::kTaskError));
+  EXPECT_EQ(decoded_seconds, seconds);
+  EXPECT_EQ(decoded_body, body);
 }
 
 TEST(RpcBackendTest, UnregisteredTaskIsRejectedUpFront) {

@@ -7,6 +7,8 @@
 // the same Query, regenerating an identical workload from the same
 // generator seed, and the canonical bool encoding.
 
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 #include "catalog/generator.h"
@@ -92,6 +94,83 @@ TEST(SerializeDeterminismTest, BoolEncodingIsCanonical) {
   ByteReader bad_reader(bad, 1);
   bool out = false;
   EXPECT_EQ(bad_reader.ReadBool(&out).code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeDeterminismTest, ExternalBufferWriterMatchesOwningWriter) {
+  // The zero-copy scatter path serializes straight into caller-owned
+  // request buffers; the bytes must be indistinguishable from the
+  // owning-writer path or frame contents diverge by construction site.
+  ByteWriter owning;
+  owning.WriteU8(0x5a);
+  owning.WriteU32(123456u);
+  owning.WriteU64(0x0102030405060708ull);
+  owning.WriteDouble(3.25);
+  owning.WriteBool(true);
+  owning.WriteString("zero-copy");
+
+  std::vector<uint8_t> sink;
+  ByteWriter external(&sink);
+  external.WriteU8(0x5a);
+  external.WriteU32(123456u);
+  external.WriteU64(0x0102030405060708ull);
+  external.WriteDouble(3.25);
+  external.WriteBool(true);
+  external.WriteString("zero-copy");
+
+  EXPECT_EQ(sink, owning.buffer());
+  EXPECT_EQ(external.size(), owning.size());
+}
+
+TEST(SerializeDeterminismTest, ExternalBufferWriterAppendsAfterPrefix) {
+  // size() reports only bytes written by this writer, even when the sink
+  // already holds a prefix (the request path writes after a hoisted
+  // query prefix).
+  std::vector<uint8_t> sink = {0xaa, 0xbb, 0xcc};
+  ByteWriter writer(&sink);
+  EXPECT_EQ(writer.size(), 0u);
+  writer.WriteU32(7u);
+  EXPECT_EQ(writer.size(), 4u);
+  ASSERT_EQ(sink.size(), 7u);
+  EXPECT_EQ(sink[0], 0xaa);
+  EXPECT_EQ(sink[1], 0xbb);
+  EXPECT_EQ(sink[2], 0xcc);
+
+  ByteReader reader(sink.data() + 3, sink.size() - 3);
+  uint32_t v = 0;
+  ASSERT_TRUE(reader.ReadU32(&v).ok());
+  EXPECT_EQ(v, 7u);
+}
+
+TEST(SerializeDeterminismTest, EncodeU64MatchesWriteU64) {
+  // EncodeU64 builds fixed-size frame headers on the stack; its byte
+  // pattern must match WriteU64 exactly for the gather-send frames to be
+  // byte-identical with the legacy single-buffer frames.
+  const uint64_t values[] = {0, 1, 0x7f, 0x80, 0xdeadbeefcafebabeull,
+                             ~0ull};
+  for (const uint64_t v : values) {
+    uint8_t encoded[8];
+    EncodeU64(v, encoded);
+    ByteWriter writer;
+    writer.WriteU64(v);
+    ASSERT_EQ(writer.size(), 8u);
+    EXPECT_EQ(std::memcmp(encoded, writer.buffer().data(), 8), 0)
+        << "mismatch for " << v;
+  }
+}
+
+TEST(SerializeDeterminismTest, QuerySerializationIntoExternalBuffer) {
+  // End-to-end: the same query serialized via both writer modes yields
+  // identical bytes (the scatter path's byte-identity guarantee).
+  GeneratorOptions opts;
+  QueryGenerator gen(opts, 4242);
+  const Query q = gen.Generate(11);
+  ByteWriter owning;
+  q.Serialize(&owning);
+
+  std::vector<uint8_t> sink;
+  ByteWriter external(&sink);
+  q.Serialize(&external);
+  EXPECT_EQ(sink, owning.buffer());
 }
 
 }  // namespace
