@@ -90,9 +90,32 @@ inline void PrintHeader(const char* title) {
 }
 
 /// Machine-readable benchmark output, shared by every bench binary via
-/// the `--json=<path>` flag: one JSON array of records, each
-/// {"bench", "config", "metric", "value", "units"}. CI uploads these
-/// files per build so the perf trajectory is tracked across PRs.
+/// the `--json=<path>` flag. CI uploads the emitted BENCH_*.json files
+/// per build (90-day retention) so the perf trajectory is tracked
+/// across PRs; docs/benchmarking.md documents how to read and compare
+/// them.
+///
+/// Record schema — the file is one flat JSON array; every element is an
+/// object with exactly these five keys, in this order:
+///
+///   {"bench":  "fig6",                    // emitting binary / figure
+///    "config": "backend=thread,n=12",     // "key=value,..." data point;
+///                                         //   keys are bench-specific,
+///                                         //   values never contain ','
+///    "metric": "latency_p95",             // measurement name
+///    "value":  3.179,                     // always a JSON number
+///                                         //   (%.17g, round-trips
+///                                         //   doubles exactly)
+///    "units":  "ms"}                      // "ms", "bytes", "q/s",
+///                                         //   "count", "%", "bool", ...
+///
+/// One (bench, config, metric) triple identifies a time series across
+/// builds; joining on the triple and diffing "value" is the entire
+/// trajectory-comparison contract. Strings are escaped minimally
+/// (backslash and double quote; control characters become spaces —
+/// benchmark names never need them). Records appear in insertion order
+/// and nothing else is ever written to the file, so byte-stable inputs
+/// produce byte-stable output.
 class BenchJsonWriter {
  public:
   /// Strips a `--json=<path>` argument from argc/argv (so downstream

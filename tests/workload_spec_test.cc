@@ -1,0 +1,225 @@
+// Copyright 2026 mpqopt authors.
+//
+// Tests for the .mbw workload-spec loader (src/workload/): the
+// malformed-input matrix (every rejection is a Status, never a crash),
+// schedule flattening, and the golden fingerprints of the shipped
+// bench/workloads/*.mbw suite — the macro workloads are version-tagged
+// like the plan cache, and these goldens pin them byte-stable: if a
+// checked-in .mbw (or the fingerprint encoding itself) changes, a
+// golden here must be bumped in the same commit, making workload drift
+// visible in review instead of silently shifting the BENCH_macro.json
+// trajectory.
+
+#include "workload/workload_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+// Directory of the checked-in workload files, baked in by CMake.
+#ifndef MPQOPT_WORKLOAD_DIR
+#define MPQOPT_WORKLOAD_DIR "bench/workloads"
+#endif
+
+namespace mpqopt {
+namespace {
+
+// A minimal valid spec used as the base for the malformed variants.
+const char* kValidSpec = R"(mbw 1
+workload tiny
+
+relation fact 1000000 50000 4000 900
+relation dim  50000   50000
+relation tag  4000    4000
+relation geo  900     900
+
+query q_star2
+  tables fact dim tag geo
+  edge fact.0 dim.0
+  edge fact.1 tag.0
+  edge fact.2 geo.0
+  workers 4
+end
+
+schedule q_star2 3
+)";
+
+TEST(WorkloadSpecTest, ValidSpecParses) {
+  StatusOr<Workload> loaded = ParseWorkloadSpec(kValidSpec, "tiny.mbw");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Workload& w = loaded.value();
+  EXPECT_EQ(w.name, "tiny");
+  ASSERT_EQ(w.queries.size(), 1u);
+  EXPECT_EQ(w.queries[0].name, "q_star2");
+  EXPECT_EQ(w.queries[0].query.num_tables(), 4);
+  EXPECT_EQ(w.queries[0].query.predicates().size(), 3u);
+  EXPECT_EQ(w.queries[0].variant, WorkloadVariant::kMpq);
+  EXPECT_EQ(w.queries[0].options.num_workers, 4u);
+  // Default equality selectivity: 1/max(domain_l, domain_r).
+  EXPECT_DOUBLE_EQ(w.queries[0].query.predicates()[0].selectivity,
+                   1.0 / 50000.0);
+}
+
+TEST(WorkloadSpecTest, ArrivalsFlattenAndCap) {
+  const Workload w =
+      ParseWorkloadSpec(kValidSpec, "tiny.mbw").value();
+  const std::vector<int> all = w.Arrivals();
+  ASSERT_EQ(all.size(), 3u);
+  for (int index : all) EXPECT_EQ(index, 0);
+  EXPECT_EQ(w.Arrivals(/*repeat_cap=*/2).size(), 2u);
+  EXPECT_EQ(w.Arrivals(/*repeat_cap=*/100).size(), 3u);
+}
+
+TEST(WorkloadSpecTest, MissingScheduleDefaultsToEachQueryOnce) {
+  std::string spec(kValidSpec);
+  spec = spec.substr(0, spec.find("schedule"));
+  StatusOr<Workload> loaded = ParseWorkloadSpec(spec, "tiny.mbw");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().Arrivals().size(), 1u);
+}
+
+/// Applies `from`->`to` on the valid spec and asserts the parse fails
+/// with InvalidArgument carrying file:line provenance and mentioning
+/// `want_substring`.
+void ExpectRejected(const std::string& from, const std::string& to,
+                    const std::string& want_substring) {
+  std::string spec(kValidSpec);
+  const size_t pos = spec.find(from);
+  ASSERT_NE(pos, std::string::npos) << from;
+  spec.replace(pos, from.size(), to);
+  StatusOr<Workload> loaded = ParseWorkloadSpec(spec, "tiny.mbw");
+  ASSERT_FALSE(loaded.ok()) << "accepted: " << from << " -> " << to;
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  const std::string message = loaded.status().ToString();
+  EXPECT_NE(message.find(want_substring), std::string::npos)
+      << "wanted '" << want_substring << "' in: " << message;
+  EXPECT_NE(message.find("tiny.mbw"), std::string::npos) << message;
+}
+
+TEST(WorkloadSpecTest, VersionHeaderEnforced) {
+  ExpectRejected("mbw 1", "mbw 2", "unsupported mbw version");
+  ExpectRejected("mbw 1", "workload stray", "mbw");
+  ExpectRejected("mbw 1", "mbw one", "mbw");
+}
+
+TEST(WorkloadSpecTest, MalformedRelationsRejected) {
+  ExpectRejected("relation fact 1000000 50000 4000 900",
+                 "relation fact 0 50000 4000 900", "cardinality");
+  ExpectRejected("relation fact 1000000 50000 4000 900",
+                 "relation fact 1000000 0 4000 900", "domain");
+  // A domain larger than the cardinality is impossible.
+  ExpectRejected("relation tag  4000    4000",
+                 "relation tag  4000    9000", "exceeds its cardinality");
+  ExpectRejected("relation dim  50000   50000",
+                 "relation fact 50000 50000", "duplicate relation");
+  // Missing domain list.
+  ExpectRejected("relation tag  4000    4000", "relation tag 4000",
+                 "relation");
+  // Strict integer parse: no floats, no trailing garbage.
+  ExpectRejected("relation tag  4000    4000",
+                 "relation tag  4e3    4000", "cardinality");
+}
+
+TEST(WorkloadSpecTest, MalformedQueriesRejected) {
+  ExpectRejected("tables fact dim tag geo", "tables fact dim ghost geo",
+                 "unknown relation");
+  ExpectRejected("tables fact dim tag geo", "tables fact dim dim geo",
+                 "listed twice");
+  ExpectRejected("edge fact.0 dim.0", "edge fact.0 ghost.0",
+                 "not in this query's tables");
+  ExpectRejected("edge fact.1 tag.0", "edge fact.7 tag.0", "attribute");
+  ExpectRejected("edge fact.0 dim.0", "edge fact.0 fact.1", "itself");
+  ExpectRejected("edge fact.1 tag.0", "edge fact.1 tag.0 1.5",
+                 "selectivity");
+  ExpectRejected("edge fact.1 tag.0", "edge fact.1 tag.0 0",
+                 "selectivity");
+  // 5 is not a power of two — illegal for MPQ partitioning — and 8
+  // exceeds MaxWorkers(4, linear) = 4.
+  ExpectRejected("workers 4", "workers 5", "power of two");
+  ExpectRejected("workers 4", "workers 8", "exceeds the maximal degree");
+  ExpectRejected("workers 4", "workers four", "workers");
+  ExpectRejected("workers 4", "warp_factor 9", "unknown query directive");
+  // Dropping `end` (and everything after, so the block simply never
+  // closes) fails at EOF with the query's own line in the message.
+  ExpectRejected("end\n\nschedule q_star2 3", "", "missing its end");
+}
+
+TEST(WorkloadSpecTest, MalformedScheduleRejected) {
+  ExpectRejected("schedule q_star2 3", "schedule q_ghost 3",
+                 "unknown query");
+  ExpectRejected("schedule q_star2 3", "schedule q_star2 0", "count");
+}
+
+TEST(WorkloadSpecTest, SmaVariantAllowsAnyWorkerCount) {
+  std::string spec(kValidSpec);
+  spec.replace(spec.find("workers 4"), 9, "workers 3\n  variant sma");
+  StatusOr<Workload> loaded = ParseWorkloadSpec(spec, "tiny.mbw");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().queries[0].variant, WorkloadVariant::kSma);
+  EXPECT_EQ(loaded.value().queries[0].options.num_workers, 3u);
+}
+
+TEST(WorkloadSpecTest, FingerprintIgnoresProvenanceTracksSemantics) {
+  const Workload base = ParseWorkloadSpec(kValidSpec, "tiny.mbw").value();
+  const std::string fp = WorkloadFingerprint(base);
+  EXPECT_EQ(fp.rfind("mbw1-", 0), 0u) << fp;
+
+  // Identical text under a different source label => same fingerprint
+  // (provenance is not part of the identity).
+  EXPECT_EQ(fp, WorkloadFingerprint(
+                    ParseWorkloadSpec(kValidSpec, "other.mbw").value()));
+
+  // Any semantic change moves it: cardinality, selectivity, options
+  // delta, schedule.
+  const std::vector<std::pair<std::string, std::string>> edits = {
+      {"relation dim  50000   50000", "relation dim 50001 50000"},
+      {"edge fact.0 dim.0", "edge fact.0 dim.0 0.5"},
+      {"workers 4", "workers 2"},
+      {"workers 4", "workers 4\n  objective mo"},
+      {"workers 4", "workers 4\n  interesting_orders on"},
+      {"schedule q_star2 3", "schedule q_star2 4"},
+  };
+  for (const auto& edit : edits) {
+    std::string spec(kValidSpec);
+    spec.replace(spec.find(edit.first), edit.first.size(), edit.second);
+    StatusOr<Workload> changed = ParseWorkloadSpec(spec, "tiny.mbw");
+    ASSERT_TRUE(changed.ok()) << changed.status().ToString();
+    EXPECT_NE(WorkloadFingerprint(changed.value()), fp)
+        << "fingerprint blind to: " << edit.second;
+  }
+}
+
+TEST(WorkloadSpecTest, ShippedWorkloadGoldensAreByteStable) {
+  // The shipped suite, pinned. A mismatch means either a .mbw file or
+  // the fingerprint encoding changed — both are deliberate,
+  // golden-bumping events (see the file comment).
+  const struct {
+    const char* file;
+    const char* fingerprint;
+  } goldens[] = {
+      {"analytics_mix.mbw", "mbw1-e406a78b6152455ee8b1c686e17d1e6d"},
+      {"oltp_repeat.mbw", "mbw1-4b1fd7ef46ba77b6b551391a7be2bd97"},
+      {"sma_sessions.mbw", "mbw1-033ff3f5570b20c2a8861572296ec75e"},
+  };
+  for (const auto& golden : goldens) {
+    const std::string path =
+        std::string(MPQOPT_WORKLOAD_DIR) + "/" + golden.file;
+    StatusOr<Workload> loaded = LoadWorkloadFile(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(WorkloadFingerprint(loaded.value()), golden.fingerprint)
+        << "fingerprint drift for " << golden.file
+        << " — if the workload change is deliberate, bump this golden "
+           "in the same commit";
+  }
+}
+
+TEST(WorkloadSpecTest, LoadWorkloadFileMissingPathIsStatus) {
+  StatusOr<Workload> missing = LoadWorkloadFile("/nonexistent/nope.mbw");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mpqopt

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+# Copyright 2026 mpqopt authors.
+"""Fails on dead relative links in Markdown files.
+
+Usage: check_doc_links.py FILE.md [FILE.md ...]
+
+Checks every inline Markdown link ``[text](target)`` whose target is a
+relative path (external ``http(s)://`` / ``mailto:`` links and pure
+``#fragment`` anchors are skipped). A target may carry a ``#fragment`` or
+point at a directory; the path part must exist relative to the linking
+file. Exit status is the number of dead links, so CI fails iff any link
+is broken.
+"""
+
+import os
+import re
+import sys
+
+# Inline links only, one per match: [text](target). Reference-style links
+# and autolinks are not used in this repo's docs.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_file(path):
+    dead = []
+    base = os.path.dirname(os.path.abspath(path))
+    with open(path, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            for target in LINK_RE.findall(line):
+                if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                    continue  # http:, https:, mailto:, ...
+                file_part = target.split("#", 1)[0]
+                if not file_part:
+                    continue  # same-file anchor
+                if not os.path.exists(os.path.join(base, file_part)):
+                    dead.append((line_no, target))
+    return dead
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    total = 0
+    for path in argv[1:]:
+        for line_no, target in check_file(path):
+            print(f"{path}:{line_no}: dead link -> {target}")
+            total += 1
+    if total == 0:
+        print(f"checked {len(argv) - 1} file(s): all relative links resolve")
+    return min(total, 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
