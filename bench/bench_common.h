@@ -96,7 +96,7 @@ inline void PrintHeader(const char* title) {
 /// them.
 ///
 /// Record schema — the file is one flat JSON array; every element is an
-/// object with exactly these five keys, in this order:
+/// object with exactly these seven keys, in this order:
 ///
 ///   {"bench":  "fig6",                    // emitting binary / figure
 ///    "config": "backend=thread,n=12",     // "key=value,..." data point;
@@ -106,16 +106,24 @@ inline void PrintHeader(const char* title) {
 ///    "value":  3.179,                     // always a JSON number
 ///                                         //   (%.17g, round-trips
 ///                                         //   doubles exactly)
-///    "units":  "ms"}                      // "ms", "bytes", "q/s",
+///    "units":  "ms",                      // "ms", "bytes", "q/s",
 ///                                         //   "count", "%", "bool", ...
+///    "build":  "Release",                 // CMAKE_BUILD_TYPE the binary
+///                                         //   was compiled as
+///    "source": "66cd793a1b2c"}            // git revision of the source
+///                                         //   tree ("unknown" outside a
+///                                         //   checkout)
 ///
 /// One (bench, config, metric) triple identifies a time series across
 /// builds; joining on the triple and diffing "value" is the entire
-/// trajectory-comparison contract. Strings are escaped minimally
-/// (backslash and double quote; control characters become spaces —
-/// benchmark names never need them). Records appear in insertion order
-/// and nothing else is ever written to the file, so byte-stable inputs
-/// produce byte-stable output.
+/// trajectory-comparison contract (tools/bench_diff.py implements it).
+/// The build/source stamps LABEL a trajectory — which binary produced
+/// which numbers — and are deliberately not part of the identity triple,
+/// so diffing two revisions still joins record-for-record. Strings are
+/// escaped minimally (backslash and double quote; control characters
+/// become spaces — benchmark names never need them). Records appear in
+/// insertion order and nothing else is ever written to the file, so
+/// byte-stable inputs produce byte-stable output.
 class BenchJsonWriter {
  public:
   /// Strips a `--json=<path>` argument from argc/argv (so downstream
@@ -158,15 +166,35 @@ class BenchJsonWriter {
       std::fprintf(f,
                    "  {\"bench\": \"%s\", \"config\": \"%s\", "
                    "\"metric\": \"%s\", \"value\": %.17g, "
-                   "\"units\": \"%s\"}%s\n",
+                   "\"units\": \"%s\", \"build\": \"%s\", "
+                   "\"source\": \"%s\"}%s\n",
                    Escaped(r.bench).c_str(), Escaped(r.config).c_str(),
                    Escaped(r.metric).c_str(), r.value,
-                   Escaped(r.units).c_str(),
+                   Escaped(r.units).c_str(), Escaped(BuildType()).c_str(),
+                   Escaped(SourceFingerprint()).c_str(),
                    i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");
     std::fclose(f);
     return true;
+  }
+
+  /// The compile-time stamps every record carries. CMake injects both
+  /// definitions for bench targets; the fallbacks keep ad-hoc builds
+  /// (e.g. compiling a bench by hand) working.
+  static const char* BuildType() {
+#ifdef MPQOPT_BUILD_TYPE
+    return MPQOPT_BUILD_TYPE;
+#else
+    return "unknown";
+#endif
+  }
+  static const char* SourceFingerprint() {
+#ifdef MPQOPT_SOURCE_FINGERPRINT
+    return MPQOPT_SOURCE_FINGERPRINT;
+#else
+    return "unknown";
+#endif
   }
 
  private:

@@ -36,9 +36,20 @@
 //
 // Knobs: MPQOPT_RPC_WORKERS (default 2 worker processes; 0 disables the
 // rpc sweep), MPQOPT_POOL_THREADS (4), and the shared network knobs of
-// bench_common.h. Arrivals are submitted serially, in schedule order, so
-// hit rates and latency distributions are deterministic properties of
-// the workload file, not of scheduling races.
+// bench_common.h.
+//
+// Replay modes. Serial workloads (no @offsets) are submitted one at a
+// time, in schedule order, so hit rates and latency distributions are
+// deterministic properties of the workload file — the reported rate is
+// the SERIAL completion rate (metric "serial_rate"), i.e. 1/mean
+// latency, not a throughput: nothing ever queued behind anything.
+// Timed workloads (schedule lines with @<start_ms>) are replayed
+// OPEN-LOOP: every arrival fires at its offset whether or not earlier
+// queries have finished, which makes offered load independent of
+// service speed; those runs report the offered rate ("offered_qps")
+// and the achieved completion rate ("throughput") separately. Plan
+// choices stay deterministic in both modes and the cross-backend
+// equality check applies to both.
 
 #include <dirent.h>
 #include <unistd.h>
@@ -48,6 +59,8 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <thread>
 
 #include "bench/bench_common.h"
 #include "plan/plan_serde.h"
@@ -120,20 +133,13 @@ WorkloadRun RunWorkload(const Workload& workload,
   // workloads; report this run's delta.
   const BackendHealth before = backend->health();
 
-  const std::vector<int> arrivals = workload.Arrivals(repeat_cap);
-  const Clock::time_point batch_start = Clock::now();
-  for (const int index : arrivals) {
-    const WorkloadQuery& wq = workload.queries[static_cast<size_t>(index)];
-    const Clock::time_point start = Clock::now();
-    std::string sig;
+  // One arrival: optimize through the right variant, hash the plan.
+  const auto run_one = [&](const WorkloadQuery& wq,
+                           std::string* sig) -> Status {
     if (wq.variant == WorkloadVariant::kMpq) {
       StatusOr<MpqResult> result = service.Optimize(wq.query, wq.options);
-      if (!result.ok()) {
-        run.ok = false;
-        run.error = wq.name + ": " + result.status().ToString();
-        return run;
-      }
-      sig = PlanSignature(result.value().arena, result.value().best);
+      if (!result.ok()) return result.status();
+      *sig = PlanSignature(result.value().arena, result.value().best);
     } else {
       SmaOptions sma;
       sma.space = wq.options.space;
@@ -143,19 +149,72 @@ WorkloadRun RunWorkload(const Workload& workload,
       sma.cost_options = wq.options.cost_options;
       sma.backend = service.shared_backend();
       StatusOr<SmaResult> result = SmaOptimize(wq.query, sma);
-      if (!result.ok()) {
+      if (!result.ok()) return result.status();
+      *sig = PlanSignature(result.value().arena, result.value().best);
+    }
+    return Status::OK();
+  };
+
+  if (workload.timed()) {
+    // Open-loop replay: every arrival fires at its schedule offset on
+    // its own thread, regardless of whether earlier queries finished.
+    // Results land in per-arrival slots, so plan_sigs stays in arrival
+    // order (and thus comparable across backends) no matter which
+    // queries complete first.
+    const std::vector<Workload::TimedArrival> arrivals =
+        workload.TimedArrivals(repeat_cap);
+    run.latency_seconds.assign(arrivals.size(), 0.0);
+    run.plan_sigs.assign(arrivals.size(), std::string());
+    std::mutex error_mutex;
+    const Clock::time_point batch_start = Clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(arrivals.size());
+    for (size_t i = 0; i < arrivals.size(); ++i) {
+      threads.emplace_back([&, i]() {
+        std::this_thread::sleep_until(
+            batch_start + std::chrono::milliseconds(arrivals[i].at_ms));
+        const WorkloadQuery& wq =
+            workload.queries[static_cast<size_t>(arrivals[i].query_index)];
+        const Clock::time_point start = Clock::now();
+        std::string sig;
+        const Status status = run_one(wq, &sig);
+        run.latency_seconds[i] =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        if (status.ok()) {
+          run.plan_sigs[i] = std::move(sig);
+        } else {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (run.ok) {
+            run.ok = false;
+            run.error = wq.name + ": " + status.ToString();
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    run.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - batch_start).count();
+    if (!run.ok) return run;
+  } else {
+    const std::vector<int> arrivals = workload.Arrivals(repeat_cap);
+    const Clock::time_point batch_start = Clock::now();
+    for (const int index : arrivals) {
+      const WorkloadQuery& wq = workload.queries[static_cast<size_t>(index)];
+      const Clock::time_point start = Clock::now();
+      std::string sig;
+      const Status status = run_one(wq, &sig);
+      if (!status.ok()) {
         run.ok = false;
-        run.error = wq.name + ": " + result.status().ToString();
+        run.error = wq.name + ": " + status.ToString();
         return run;
       }
-      sig = PlanSignature(result.value().arena, result.value().best);
+      run.latency_seconds.push_back(
+          std::chrono::duration<double>(Clock::now() - start).count());
+      run.plan_sigs.push_back(std::move(sig));
     }
-    run.latency_seconds.push_back(
-        std::chrono::duration<double>(Clock::now() - start).count());
-    run.plan_sigs.push_back(std::move(sig));
+    run.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - batch_start).count();
   }
-  run.wall_seconds =
-      std::chrono::duration<double>(Clock::now() - batch_start).count();
 
   const ServiceStats stats = service.stats();
   run.cache_hits = stats.cache_hits;
@@ -301,10 +360,16 @@ int main(int argc, char** argv) {
   bool plans_identical = true;
 
   for (const Workload& workload : workloads) {
-    std::printf("--- workload %s ---\n", workload.name.c_str());
+    const bool timed = workload.timed();
+    std::printf("--- workload %s%s ---\n", workload.name.c_str(),
+                timed ? " (open-loop)" : "");
+    // The rate column is honest about what it measures: a serial replay
+    // reports the serial completion rate (1/mean latency — nothing ever
+    // queues), an open-loop replay reports achieved throughput under
+    // the offered arrival rate.
     TablePrinter table({"backend", "arrivals", "p50 (ms)", "p95 (ms)",
-                        "p99 (ms)", "q/s", "hit rate", "sessions",
-                        "plans"});
+                        "p99 (ms)", timed ? "thru q/s" : "serial q/s",
+                        "hit rate", "sessions", "plans"});
     for (const BackendEntry& entry : roster) {
       const char* backend_name = BackendKindName(entry.kind);
       const WorkloadRun run =
@@ -358,7 +423,24 @@ int main(int argc, char** argv) {
                Percentile(run.latency_seconds, 95) * 1e3, "ms");
       json.Add("macrobench", config, "latency_p99",
                Percentile(run.latency_seconds, 99) * 1e3, "ms");
-      json.Add("macrobench", config, "queries_per_second", qps, "q/s");
+      if (timed) {
+        // Offered rate is a property of the schedule (arrivals over the
+        // schedule span), throughput is what the service achieved.
+        const std::vector<Workload::TimedArrival> plan =
+            workload.TimedArrivals(repeat_cap);
+        const double span_s =
+            plan.empty() ? 0
+                         : static_cast<double>(plan.back().at_ms) / 1e3;
+        json.Add("macrobench", config, "offered_qps",
+                 span_s > 0 ? static_cast<double>(arrivals) / span_s : 0,
+                 "q/s");
+        json.Add("macrobench", config, "throughput", qps, "q/s");
+      } else {
+        // The serial replay's rate is 1/mean latency, not a throughput
+        // (requests never queue behind each other), so it is not called
+        // queries_per_second.
+        json.Add("macrobench", config, "serial_rate", qps, "q/s");
+      }
       json.Add("macrobench", config, "cache_hit_rate", hit_rate * 100, "%");
       json.Add("macrobench", config, "sessions_opened",
                static_cast<double>(run.sessions_opened), "count");

@@ -14,17 +14,30 @@
 #include "cluster/session/rpc_session.h"
 #include "cluster/session/session_wire.h"
 #include "cluster/task_registry.h"
+#include "common/serialize.h"
 
 namespace mpqopt {
 
 StatusOr<std::shared_ptr<RpcBackend>> RpcBackend::Connect(
     NetworkModel model, const std::vector<std::string>& endpoints,
-    SupervisorOptions supervision) {
+    SupervisorOptions supervision, bool coalesce_scatter) {
   StatusOr<std::unique_ptr<WorkerSupervisor>> supervisor =
       WorkerSupervisor::Connect(endpoints, supervision);
   if (!supervisor.ok()) return supervisor.status();
-  return std::shared_ptr<RpcBackend>(
-      new RpcBackend(model, std::move(supervisor).value()));
+  return std::shared_ptr<RpcBackend>(new RpcBackend(
+      model, std::move(supervisor).value(), coalesce_scatter));
+}
+
+RpcBackend::RpcBackend(NetworkModel model,
+                       std::unique_ptr<WorkerSupervisor> supervisor,
+                       bool coalesce_scatter)
+    : ExecutionBackend(model),
+      supervisor_(std::move(supervisor)),
+      coalesce_scatter_(coalesce_scatter) {
+  batchers_.reserve(supervisor_->num_workers());
+  for (size_t w = 0; w < supervisor_->num_workers(); ++w) {
+    batchers_.push_back(std::make_unique<WorkerBatcher>());
+  }
 }
 
 BackendHealth RpcBackend::health() const {
@@ -32,8 +45,125 @@ BackendHealth RpcBackend::health() const {
   health.tasks_rescattered =
       tasks_rescattered_.load(std::memory_order_relaxed);
   health.rounds_recovered = rounds_recovered_.load(std::memory_order_relaxed);
+  health.scatter_batches = scatter_batches_.load(std::memory_order_relaxed);
+  health.tasks_coalesced = tasks_coalesced_.load(std::memory_order_relaxed);
   FillSessionCounters(&health);
   return health;
+}
+
+void RpcBackend::DriveBatch(size_t w, const std::vector<BatchItem*>& batch) {
+  if (batch.size() == 1) {
+    // A lone item gains nothing from the envelope (and a near-limit
+    // request might not fit inside one) — exchange it plainly.
+    BatchItem* item = batch[0];
+    item->status = supervisor_->Exchange(
+        w, item->kind, *item->request, item->response,
+        item->compute_seconds, &item->worker_failed);
+    return;
+  }
+
+  std::vector<uint8_t> payload;
+  ByteWriter writer(&payload);
+  writer.WriteU32(static_cast<uint32_t>(batch.size()));
+  for (const BatchItem* item : batch) {
+    writer.WriteU8(item->kind);
+    writer.WriteU32(static_cast<uint32_t>(item->request->size()));
+    writer.WriteBytes(item->request->data(), item->request->size());
+  }
+  scatter_batches_.fetch_add(1, std::memory_order_relaxed);
+  tasks_coalesced_.fetch_add(batch.size(), std::memory_order_relaxed);
+
+  std::vector<uint8_t> response;
+  double envelope_seconds = 0;
+  bool worker_failed = false;
+  Status s = supervisor_->Exchange(
+      w, static_cast<uint8_t>(RpcTaskKind::kBatchTask), payload, &response,
+      &envelope_seconds, &worker_failed);
+  if (!s.ok()) {
+    // The whole frame failed — every rider shares the outcome, exactly
+    // as if each had met the broken connection itself; the owners'
+    // recovery loops re-scatter them.
+    for (BatchItem* item : batch) {
+      item->status = s;
+      item->worker_failed = worker_failed;
+    }
+    return;
+  }
+
+  ByteReader reader(response);
+  for (BatchItem* item : batch) {
+    uint8_t ok = 0;
+    double seconds = 0;
+    uint32_t len = 0;
+    Status parse = reader.ReadU8(&ok);
+    if (parse.ok()) parse = reader.ReadDouble(&seconds);
+    if (parse.ok()) parse = reader.ReadU32(&len);
+    if (parse.ok() && len > reader.remaining()) {
+      parse = Status::Corruption("batch reply slot exceeds the payload");
+    }
+    if (!parse.ok()) {
+      // A malformed envelope reply poisons every remaining slot — fail
+      // them deterministically rather than guessing at boundaries.
+      item->status = Status::Corruption(
+          "rpc batch reply is malformed: " + parse.ToString());
+      continue;
+    }
+    if (ok == 1) {
+      item->response->assign(reader.cursor(), reader.cursor() + len);
+      *item->compute_seconds = seconds;
+      item->status = Status::OK();
+    } else {
+      item->status = Status::Internal(
+          "rpc batch subtask failed: " +
+          std::string(reader.cursor(), reader.cursor() + len));
+    }
+    reader.Advance(len);
+  }
+}
+
+void RpcBackend::ExchangeCoalesced(size_t w,
+                                   const std::vector<BatchItem*>& items) {
+  WorkerBatcher& batcher = *batchers_[w];
+  std::unique_lock<std::mutex> lock(batcher.mutex);
+  for (BatchItem* item : items) batcher.queue.push_back(item);
+
+  const auto all_finished = [&items] {
+    for (const BatchItem* item : items) {
+      if (!item->finished) return false;
+    }
+    return true;
+  };
+  while (!all_finished()) {
+    if (batcher.draining || batcher.queue.empty()) {
+      // Another submitter is flushing; our items either ride its batch
+      // or a later one.
+      batcher.cv.wait(lock);
+      continue;
+    }
+    // Become the drainer: flush EVERYTHING queued right now — our items
+    // plus whatever concurrent rounds queued while the previous drain
+    // was on the wire (group commit) — in as few envelopes as fit.
+    batcher.draining = true;
+    std::vector<BatchItem*> batch;
+    size_t payload_bytes = sizeof(uint32_t);
+    while (!batcher.queue.empty()) {
+      BatchItem* item = batcher.queue.front();
+      const size_t need =
+          sizeof(uint8_t) + sizeof(uint32_t) + item->request->size();
+      if (!batch.empty() && payload_bytes + need > kMaxFramePayloadBytes) {
+        break;
+      }
+      batch.push_back(item);
+      batcher.queue.pop_front();
+      payload_bytes += need;
+    }
+    lock.unlock();
+    DriveBatch(w, batch);
+    lock.lock();
+    for (BatchItem* item : batch) item->finished = true;
+    batcher.draining = false;
+    batcher.cv.notify_all();
+  }
 }
 
 StatusOr<RoundResult> RpcBackend::RunRound(
@@ -130,6 +260,38 @@ StatusOr<RoundResult> RpcBackend::RunRound(
         usable.size();
     const auto run_lane = [&](size_t lane) {
       const size_t w = usable[(base + lane) % usable.size()];
+      if (coalesce_scatter_) {
+        // Coalesced scatter: this lane's whole share goes to worker `w`
+        // as one batch envelope (group-committed with concurrent
+        // rounds), and each item comes back with its own per-task
+        // outcome — identical bytes, one frame.
+        std::vector<BatchItem> items(
+            (pending.size() - lane + lanes - 1) / lanes);
+        std::vector<BatchItem*> item_ptrs(items.size());
+        for (size_t n = 0, p = lane; p < pending.size(); ++n, p += lanes) {
+          const size_t i = pending[p];
+          items[n].kind = kinds[i];
+          items[n].request = &requests[i];
+          items[n].response = &result.responses[i];
+          items[n].compute_seconds = &result.compute_seconds[i];
+          item_ptrs[n] = &items[n];
+        }
+        ExchangeCoalesced(w, item_ptrs);
+        for (size_t n = 0, p = lane; p < pending.size(); ++n, p += lanes) {
+          const size_t i = pending[p];
+          if (items[n].status.ok()) {
+            done[i] = 1;
+            continue;
+          }
+          std::lock_guard<std::mutex> error_lock(error_mutex);
+          if (items[n].worker_failed) {
+            last_worker_error = items[n].status;
+          } else if (task_error.ok()) {
+            task_error = items[n].status;
+          }
+        }
+        return;
+      }
       for (size_t p = lane; p < pending.size(); p += lanes) {
         const size_t i = pending[p];
         bool worker_failed = false;

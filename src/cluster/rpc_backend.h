@@ -47,7 +47,10 @@
 #define MPQOPT_CLUSTER_RPC_BACKEND_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -65,9 +68,14 @@ class RpcBackend : public ExecutionBackend {
   /// Connects to (and ping-verifies) every "host:port" endpoint; fails
   /// naming the endpoint if any worker is unreachable. Supervision knobs
   /// (redial budget, backoff, reply deadline) ride in `supervision`.
+  /// With `coalesce_scatter`, RunRound merges each worker's share of a
+  /// round into one kBatchTask envelope frame, group-committed with
+  /// whatever other rounds are scattering to that worker at the same
+  /// moment (BackendOptions::coalesce_scatter; responses, plan bytes,
+  /// and modeled accounting are identical either way).
   static StatusOr<std::shared_ptr<RpcBackend>> Connect(
       NetworkModel model, const std::vector<std::string>& endpoints,
-      SupervisorOptions supervision = {});
+      SupervisorOptions supervision = {}, bool coalesce_scatter = false);
 
   StatusOr<RoundResult> RunRound(
       const std::vector<WorkerTask>& tasks,
@@ -91,13 +99,48 @@ class RpcBackend : public ExecutionBackend {
   const WorkerSupervisor& supervisor() const { return *supervisor_; }
 
  private:
-  RpcBackend(NetworkModel model,
-             std::unique_ptr<WorkerSupervisor> supervisor)
-      : ExecutionBackend(model), supervisor_(std::move(supervisor)) {}
+  RpcBackend(NetworkModel model, std::unique_ptr<WorkerSupervisor> supervisor,
+             bool coalesce_scatter);
+
+  /// One task request riding a coalesced exchange, with its per-task
+  /// outputs — the batcher fills exactly what a plain Exchange would.
+  struct BatchItem {
+    uint8_t kind = 0;
+    const std::vector<uint8_t>* request = nullptr;
+    std::vector<uint8_t>* response = nullptr;
+    double* compute_seconds = nullptr;
+    Status status;
+    bool worker_failed = false;
+    bool finished = false;
+  };
+
+  /// Per-worker group-commit queue: concurrent lanes enqueue their
+  /// items; one submitter at a time becomes the drainer and flushes
+  /// everything queued — its own items plus whatever other rounds have
+  /// queued meanwhile — as a single kBatchTask envelope.
+  struct WorkerBatcher {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<BatchItem*> queue;
+    bool draining = false;
+  };
+
+  /// Runs `items` on worker `w` through the batcher; returns when every
+  /// item is finished (each with its own status, like N plain
+  /// Exchanges).
+  void ExchangeCoalesced(size_t w, const std::vector<BatchItem*>& items);
+  /// Sends one drained batch (envelope, or a plain exchange for a lone
+  /// item) and fills the items' outputs. Marked finished by the caller
+  /// under the batcher lock.
+  void DriveBatch(size_t w, const std::vector<BatchItem*>& batch);
 
   std::unique_ptr<WorkerSupervisor> supervisor_;
+  const bool coalesce_scatter_;
+  std::vector<std::unique_ptr<WorkerBatcher>> batchers_;
   std::atomic<uint64_t> tasks_rescattered_{0};
   std::atomic<uint64_t> rounds_recovered_{0};
+  std::atomic<uint64_t> scatter_batches_{0};
+  std::atomic<uint64_t> tasks_coalesced_{0};
   /// Rotates each round's first worker so concurrent small rounds spread
   /// over the whole pool.
   std::atomic<size_t> round_offset_{0};

@@ -35,6 +35,8 @@ const char* RpcTaskKindName(RpcTaskKind kind) {
       return "sleep-echo";
     case RpcTaskKind::kPingTask:
       return "ping";
+    case RpcTaskKind::kBatchTask:
+      return "batch";
   }
   return "unknown";
 }
@@ -65,6 +67,62 @@ StatusOr<std::vector<uint8_t>> PingTaskMain(
   return request;
 }
 
+StatusOr<std::vector<uint8_t>> BatchTaskMain(
+    const std::vector<uint8_t>& request) {
+  ByteReader reader(request);
+  uint32_t count = 0;
+  Status s = reader.ReadU32(&count);
+  if (!s.ok()) return s;
+  ByteWriter writer;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t kind = 0;
+    uint32_t len = 0;
+    s = reader.ReadU8(&kind);
+    if (s.ok()) s = reader.ReadU32(&len);
+    if (!s.ok()) return s;
+    if (len > reader.remaining()) {
+      return Status::Corruption("batch subtask " + std::to_string(i) +
+                                " length exceeds the envelope");
+    }
+    std::vector<uint8_t> sub_request(reader.cursor(), reader.cursor() + len);
+    reader.Advance(len);
+
+    // Nested batches are rejected per slot (an envelope inside an
+    // envelope means a buggy master, and unbounded nesting helps nobody);
+    // unknown kinds report like the serve loop's unknown-kind error.
+    WorkerTask task = kind == static_cast<uint8_t>(RpcTaskKind::kBatchTask)
+                          ? nullptr
+                          : TaskForKind(static_cast<RpcTaskKind>(kind));
+    const auto start = std::chrono::steady_clock::now();
+    StatusOr<std::vector<uint8_t>> response =
+        task == nullptr
+            ? StatusOr<std::vector<uint8_t>>(Status::InvalidArgument(
+                  "batch subtask kind " + std::to_string(kind) +
+                  " is not executable"))
+            : task(sub_request);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    writer.WriteU8(response.ok() ? 1 : 0);
+    writer.WriteDouble(seconds);
+    if (response.ok()) {
+      const std::vector<uint8_t>& body = response.value();
+      writer.WriteU32(static_cast<uint32_t>(body.size()));
+      writer.WriteBytes(body.data(), body.size());
+    } else {
+      const std::string msg = response.status().ToString();
+      writer.WriteU32(static_cast<uint32_t>(msg.size()));
+      writer.WriteBytes(reinterpret_cast<const uint8_t*>(msg.data()),
+                        msg.size());
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("batch envelope has trailing bytes");
+  }
+  return writer.Release();
+}
+
 RpcTaskKind ResolveTaskKind(const WorkerTask& task) {
   const WorkerFn* fn = task.target<WorkerFn>();
   if (fn == nullptr) return RpcTaskKind::kUnknownTask;
@@ -76,6 +134,7 @@ RpcTaskKind ResolveTaskKind(const WorkerTask& task) {
   if (*fn == &FailTaskMain) return RpcTaskKind::kFailTask;
   if (*fn == &SleepEchoTaskMain) return RpcTaskKind::kSleepEchoTask;
   if (*fn == &PingTaskMain) return RpcTaskKind::kPingTask;
+  if (*fn == &BatchTaskMain) return RpcTaskKind::kBatchTask;
   return RpcTaskKind::kUnknownTask;
 }
 
@@ -95,6 +154,8 @@ WorkerTask TaskForKind(RpcTaskKind kind) {
       return WorkerTask(&SleepEchoTaskMain);
     case RpcTaskKind::kPingTask:
       return WorkerTask(&PingTaskMain);
+    case RpcTaskKind::kBatchTask:
+      return WorkerTask(&BatchTaskMain);
   }
   return nullptr;
 }

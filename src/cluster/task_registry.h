@@ -41,6 +41,7 @@ enum class RpcTaskKind : uint8_t {
   kFailTask = 4,       ///< diagnostic: fails with the request as message
   kSleepEchoTask = 5,  ///< diagnostic: u32 ms sleep, then echo the rest
   kPingTask = 6,       ///< health probe: echoes the nonce payload
+  kBatchTask = 7,      ///< envelope: N coalesced subtask requests
 };
 
 /// Human-readable kind name for error messages.
@@ -64,6 +65,23 @@ StatusOr<std::vector<uint8_t>> SleepEchoTaskMain(
 /// every (re)dial and requires the nonce back before trusting the
 /// connection with real round traffic.
 StatusOr<std::vector<uint8_t>> PingTaskMain(
+    const std::vector<uint8_t>& request);
+
+/// Scatter-coalescing envelope: one frame carrying N independent subtask
+/// requests, executed in order, each timed individually.
+///
+///   request   u32 count, then per subtask: u8 kind, u32 len, len bytes
+///   response  per subtask: u8 ok, f64 measured compute seconds,
+///             u32 len, then len bytes (response when ok, status text
+///             when not)
+///
+/// A failed subtask does NOT fail the envelope — its slot reports ok=0
+/// and the other subtasks still run, so the master can split one frame's
+/// outcomes exactly like N separate exchanges. Nested batches and
+/// unknown subtask kinds are per-slot errors. A pure function of its
+/// request bytes like every other registered entry point, so a coalesced
+/// scatter stays byte-identical to an uncoalesced one.
+StatusOr<std::vector<uint8_t>> BatchTaskMain(
     const std::vector<uint8_t>& request);
 
 /// Maps a WorkerTask back to its registered kind, or kUnknownTask when

@@ -24,6 +24,8 @@ enum class StatusCode {
   kCorruption,      ///< malformed serialized payload
   kUnimplemented,
   kInternal,
+  kResourceExhausted,  ///< quota / capacity exceeded; retry later
+  kDeadlineExceeded,   ///< request expired before it could run
 };
 
 /// Result of an operation that can fail. Cheap to copy when OK.
@@ -51,6 +53,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,62 @@
+// Copyright 2026 mpqopt authors.
+
+#include "service/admission/admission_controller.h"
+
+#include <thread>
+
+namespace mpqopt {
+namespace {
+
+QuotaTrackerOptions MakeQuotaOptions(const AdmissionOptions& options) {
+  QuotaTrackerOptions out;
+  out.default_rate_per_second = options.tenant_rate;
+  out.default_burst = options.tenant_burst;
+  out.clock = options.clock;
+  return out;
+}
+
+AdmissionQueueOptions MakeQueueOptions(const AdmissionOptions& options) {
+  AdmissionQueueOptions out;
+  out.max_concurrent = options.max_concurrent;
+  if (out.max_concurrent <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    out.max_concurrent = 2 * static_cast<int>(hw == 0 ? 4 : hw);
+  }
+  out.queue_depth = options.queue_depth;
+  out.queue_timeout_ms = options.queue_timeout_ms;
+  out.weights = options.weights;
+  return out;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : quota_(MakeQuotaOptions(options)),
+      queue_(MakeQueueOptions(options)) {}
+
+StatusOr<AdmissionController::Ticket> AdmissionController::Admit(
+    const RequestContext& ctx) {
+  Status quota = quota_.TryAcquire(ctx.tenant);
+  if (!quota.ok()) {
+    rejected_quota_.fetch_add(1, std::memory_order_relaxed);
+    return quota;
+  }
+  Status slot = queue_.Acquire(ctx.priority);
+  if (!slot.ok()) return slot;
+  return Ticket(&queue_);
+}
+
+AdmissionStats AdmissionController::stats() const {
+  const AdmissionQueueStats q = queue_.stats();
+  AdmissionStats out;
+  out.admitted = q.admitted_immediately + q.admitted_from_queue;
+  out.rejected_quota = rejected_quota_.load(std::memory_order_relaxed);
+  out.rejected_queue = q.shed_queue_full;
+  out.timed_out = q.timed_out;
+  out.admitted_by_class = q.admitted_by_class;
+  out.queued_now = q.queued_now;
+  out.running_now = q.running_now;
+  return out;
+}
+
+}  // namespace mpqopt

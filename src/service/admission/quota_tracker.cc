@@ -1,0 +1,71 @@
+// Copyright 2026 mpqopt authors.
+
+#include "service/admission/quota_tracker.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mpqopt {
+
+QuotaTracker::QuotaTracker(QuotaTrackerOptions options)
+    : options_(std::move(options)) {}
+
+std::chrono::steady_clock::time_point QuotaTracker::Now() const {
+  if (options_.clock) return options_.clock();
+  return std::chrono::steady_clock::now();
+}
+
+void QuotaTracker::SetQuota(const std::string& tenant, double rate_per_second,
+                            double burst) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& b = buckets_[tenant];
+  b.rate_per_second = rate_per_second;
+  b.burst = std::max(burst, 1.0);
+  b.tokens = b.burst;
+  b.last_refill = Now();
+}
+
+QuotaTracker::Bucket& QuotaTracker::BucketFor(const std::string& tenant) {
+  auto it = buckets_.find(tenant);
+  if (it != buckets_.end()) return it->second;
+  Bucket b;
+  b.rate_per_second = options_.default_rate_per_second;
+  b.burst = std::max(options_.default_burst, 1.0);
+  b.tokens = b.burst;
+  b.last_refill = Now();
+  return buckets_.emplace(tenant, b).first->second;
+}
+
+void QuotaTracker::Refill(Bucket* bucket) {
+  const auto now = Now();
+  if (now > bucket->last_refill) {
+    const double elapsed =
+        std::chrono::duration<double>(now - bucket->last_refill).count();
+    bucket->tokens =
+        std::min(bucket->burst,
+                 bucket->tokens + elapsed * bucket->rate_per_second);
+  }
+  bucket->last_refill = now;
+}
+
+Status QuotaTracker::TryAcquire(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& b = BucketFor(tenant);
+  if (b.rate_per_second <= 0) return Status::OK();  // unlimited
+  Refill(&b);
+  if (b.tokens < 1.0) {
+    return Status::ResourceExhausted("tenant '" + tenant +
+                                     "' is over its admission quota");
+  }
+  b.tokens -= 1.0;
+  return Status::OK();
+}
+
+double QuotaTracker::TokensForTesting(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& b = BucketFor(tenant);
+  if (b.rate_per_second > 0) Refill(&b);
+  return b.tokens;
+}
+
+}  // namespace mpqopt

@@ -1,0 +1,89 @@
+// Copyright 2026 mpqopt authors.
+//
+// QuotaTracker — per-tenant token-bucket rate limiting for the serving
+// layer (ROADMAP "Admission control").
+//
+// Each tenant owns one token bucket: it refills continuously at
+// `rate_per_second` and holds at most `burst` tokens. Admitting a query
+// spends one token; an empty bucket rejects with a deterministic
+// ResourceExhausted status *before* any backend round runs, so an
+// over-quota tenant costs the service one mutex acquisition, not a
+// scatter/gather.
+//
+// The clock is injectable (same idiom as PlanCacheOptions::clock), so
+// tests drive refill arithmetic deterministically. Unknown tenants get
+// the default quota; `rate_per_second == 0` means "unlimited", which is
+// the default — the default tenant preserves pre-admission behavior.
+//
+// Thread-safe; one mutex (admission is not a hot path — the backend
+// round behind it is orders of magnitude more expensive).
+
+#ifndef MPQOPT_SERVICE_ADMISSION_QUOTA_TRACKER_H_
+#define MPQOPT_SERVICE_ADMISSION_QUOTA_TRACKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace mpqopt {
+
+/// Configuration of one QuotaTracker.
+struct QuotaTrackerOptions {
+  /// Sustained admissions per second for tenants without an explicit
+  /// quota. 0 = unlimited (every TryAcquire succeeds) — the default, so
+  /// deployments that never mention tenants see no behavior change.
+  double default_rate_per_second = 0;
+  /// Bucket capacity for tenants without an explicit quota: how many
+  /// admissions a fully-rested tenant can burst before the sustained
+  /// rate applies. Clamped to >= 1 when the rate is limited.
+  double default_burst = 1;
+  /// Injectable clock for deterministic tests; null uses
+  /// steady_clock::now.
+  std::function<std::chrono::steady_clock::time_point()> clock;
+};
+
+/// Per-tenant token buckets. See file comment.
+class QuotaTracker {
+ public:
+  explicit QuotaTracker(QuotaTrackerOptions options);
+
+  /// Sets (or replaces) the quota of one tenant. `rate_per_second == 0`
+  /// makes the tenant unlimited; otherwise the bucket starts full at
+  /// max(burst, 1) tokens.
+  void SetQuota(const std::string& tenant, double rate_per_second,
+                double burst);
+
+  /// Spends one token from the tenant's bucket. OK on success;
+  /// ResourceExhausted (naming the tenant) when the bucket is empty.
+  Status TryAcquire(const std::string& tenant);
+
+  /// Tokens currently in the tenant's bucket (after refill to now) —
+  /// for tests and the stats report.
+  double TokensForTesting(const std::string& tenant);
+
+ private:
+  struct Bucket {
+    double rate_per_second = 0;  // 0 = unlimited
+    double burst = 1;
+    double tokens = 1;
+    std::chrono::steady_clock::time_point last_refill;
+  };
+
+  std::chrono::steady_clock::time_point Now() const;
+  /// Requires mutex_ held.
+  Bucket& BucketFor(const std::string& tenant);
+  void Refill(Bucket* bucket);
+
+  const QuotaTrackerOptions options_;
+  std::mutex mutex_;
+  std::unordered_map<std::string, Bucket> buckets_;
+};
+
+}  // namespace mpqopt
+
+#endif  // MPQOPT_SERVICE_ADMISSION_QUOTA_TRACKER_H_

@@ -21,6 +21,7 @@ OptimizerService::OptimizerService(ServiceOptions options)
     backend_opts.workers_addr = options_.workers_addr;
     backend_opts.worker_retries = options_.worker_retries;
     backend_opts.worker_backoff_ms = options_.worker_backoff_ms;
+    backend_opts.coalesce_scatter = options_.coalesce_scatter;
     StatusOr<std::shared_ptr<ExecutionBackend>> made =
         MakeBackend(options_.backend_kind, backend_opts);
     if (made.ok()) {
@@ -38,6 +39,9 @@ OptimizerService::OptimizerService(ServiceOptions options)
     cache_opts.ttl_seconds = options_.plan_cache_ttl_seconds;
     cache_opts.num_shards = options_.plan_cache_shards;
     cache_ = std::make_unique<PlanCache>(cache_opts);
+  }
+  if (options_.enable_admission) {
+    admission_ = std::make_unique<AdmissionController>(options_.admission);
   }
 }
 
@@ -115,6 +119,26 @@ StatusOr<MpqResult> OptimizerService::OptimizeThroughCache(
 
 StatusOr<MpqResult> OptimizerService::Optimize(const Query& query,
                                                const MpqOptions& options) {
+  return Optimize(query, options, RequestContext());
+}
+
+StatusOr<MpqResult> OptimizerService::Optimize(const Query& query,
+                                               const MpqOptions& options,
+                                               const RequestContext& ctx) {
+  // Admission is the outermost gate: a rejected request costs the
+  // service nothing downstream — no fingerprinting, no cache probe, no
+  // backend round. The ticket (when admission is on) holds a running
+  // slot until this call returns.
+  AdmissionController::Ticket ticket;
+  if (admission_ != nullptr) {
+    StatusOr<AdmissionController::Ticket> admitted = admission_->Admit(ctx);
+    if (!admitted.ok()) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.queries_failed;
+      return admitted.status();
+    }
+    ticket = std::move(admitted).value();
+  }
   if (backend_ == nullptr) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.queries_failed;
@@ -152,7 +176,8 @@ StatusOr<MpqResult> OptimizerService::Optimize(const Query& query,
 }
 
 BatchReport OptimizerService::OptimizeBatch(const std::vector<Query>& queries,
-                                            const MpqOptions& options) {
+                                            const MpqOptions& options,
+                                            const RequestContext& ctx) {
   const size_t n = queries.size();
   BatchReport report;
   report.latency_seconds.assign(n, 0.0);
@@ -169,7 +194,7 @@ BatchReport OptimizerService::OptimizeBatch(const std::vector<Query>& queries,
       const size_t i = next_query.fetch_add(1);
       if (i >= n) return;
       const auto start = std::chrono::steady_clock::now();
-      report.results[i] = Optimize(queries[i], options);
+      report.results[i] = Optimize(queries[i], options, ctx);
       const auto end = std::chrono::steady_clock::now();
       report.latency_seconds[i] =
           std::chrono::duration<double>(end - start).count();
@@ -214,12 +239,23 @@ ServiceStats OptimizerService::stats() const {
     snapshot.cache_evictions_ttl = cache_stats.evictions_ttl;
     snapshot.cache_evictions_invalidated = cache_stats.evictions_invalidated;
   }
+  if (admission_ != nullptr) {
+    const AdmissionStats admission_stats = admission_->stats();
+    snapshot.admitted = admission_stats.admitted;
+    snapshot.rejected_quota = admission_stats.rejected_quota;
+    snapshot.rejected_queue = admission_stats.rejected_queue;
+    snapshot.admission_timed_out = admission_stats.timed_out;
+    snapshot.admission_queued_now = admission_stats.queued_now;
+    snapshot.admission_running_now = admission_stats.running_now;
+  }
   if (backend_ != nullptr) {
     BackendHealth health = backend_->health();
     snapshot.worker_reconnect_attempts = health.reconnect_attempts;
     snapshot.worker_reconnects = health.reconnects;
     snapshot.tasks_rescattered = health.tasks_rescattered;
     snapshot.rounds_recovered = health.rounds_recovered;
+    snapshot.scatter_batches = health.scatter_batches;
+    snapshot.tasks_coalesced = health.tasks_coalesced;
     snapshot.sessions_opened = health.sessions.sessions_opened;
     snapshot.session_rounds = health.sessions.session_rounds;
     snapshot.sessions_recovered = health.sessions.sessions_recovered;

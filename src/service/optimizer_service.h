@@ -33,6 +33,7 @@
 #include "cluster/backend.h"
 #include "mpq/mpq.h"
 #include "plancache/plan_cache.h"
+#include "service/admission/admission_controller.h"
 
 namespace mpqopt {
 
@@ -69,6 +70,17 @@ struct ServiceOptions {
   double plan_cache_ttl_seconds = 0;
   /// Lock shards of the plan cache (rounded up to a power of two).
   int plan_cache_shards = 16;
+  /// Admission control in front of the backend (CLI: --admission): an
+  /// over-quota tenant or a full priority queue is rejected with a
+  /// deterministic error before any worker round runs. Off by default —
+  /// every request is admitted, exactly the pre-admission behavior.
+  bool enable_admission = false;
+  /// Quota / queue knobs when admission is enabled (CLI: --tenant-rate,
+  /// --tenant-burst, --queue-depth).
+  AdmissionOptions admission;
+  /// Scatter coalescing on the rpc backend (BackendOptions::
+  /// coalesce_scatter; no effect on in-process kinds). CLI: --coalesce.
+  bool coalesce_scatter = false;
 };
 
 /// Aggregate counters since service construction.
@@ -113,6 +125,21 @@ struct ServiceStats {
   uint64_t session_rounds = 0;
   uint64_t sessions_recovered = 0;
   uint64_t sessions_failed = 0;
+  /// Admission outcomes (service/admission/; all-zero with admission
+  /// off): requests granted a slot, rejected over quota, shed at a full
+  /// class queue, and expired waiting. The gauges count requests queued
+  /// or running at snapshot time.
+  uint64_t admitted = 0;
+  uint64_t rejected_quota = 0;
+  uint64_t rejected_queue = 0;
+  uint64_t admission_timed_out = 0;
+  size_t admission_queued_now = 0;
+  size_t admission_running_now = 0;
+  /// Scatter coalescing on the rpc backend: batch envelopes sent and
+  /// task requests that rode in them (zero when coalescing is off or the
+  /// backend is in-process).
+  uint64_t scatter_batches = 0;
+  uint64_t tasks_coalesced = 0;
   /// Per-worker endpoint, health state, and failure counters.
   std::vector<WorkerHealthSnapshot> workers;
 };
@@ -136,13 +163,25 @@ class OptimizerService {
 
   /// Optimizes one query with the given per-query options; the options'
   /// backend field is overridden with the service's shared backend.
-  /// Thread-safe; concurrent calls share the worker pool.
+  /// Thread-safe; concurrent calls share the worker pool. Runs as the
+  /// default tenant at interactive priority — with default quotas this
+  /// admits unconditionally, so existing callers see no change.
   StatusOr<MpqResult> Optimize(const Query& query, const MpqOptions& options);
 
+  /// Same, on behalf of `ctx`'s tenant and priority class. With
+  /// admission enabled the request passes the quota and (possibly) the
+  /// priority queue first; over-quota and shed requests fail with
+  /// ResourceExhausted, queue-expired ones with DeadlineExceeded, all
+  /// before any backend round runs.
+  StatusOr<MpqResult> Optimize(const Query& query, const MpqOptions& options,
+                               const RequestContext& ctx);
+
   /// Optimizes every query with the same shared option set, concurrently
-  /// on up to dispatcher_threads query masters.
+  /// on up to dispatcher_threads query masters. Every query runs on
+  /// behalf of `ctx` (default: default tenant, interactive).
   BatchReport OptimizeBatch(const std::vector<Query>& queries,
-                            const MpqOptions& options);
+                            const MpqOptions& options,
+                            const RequestContext& ctx = RequestContext());
 
   /// Aggregate counters since construction (thread-safe snapshot).
   ServiceStats stats() const;
@@ -163,6 +202,11 @@ class OptimizerService {
   /// refresh, or `BumpStatisticsEpoch()` after a bulk statistics reload.
   PlanCache* plan_cache() const { return cache_.get(); }
 
+  /// The admission controller, or null when disabled. Callers set
+  /// per-tenant quotas through it, e.g.
+  /// `service.admission()->SetQuota("analytics", 5, 20)`.
+  AdmissionController* admission() const { return admission_.get(); }
+
  private:
   /// One full (uncached) optimization on the shared backend.
   StatusOr<MpqResult> RunOptimizer(const Query& query,
@@ -176,6 +220,7 @@ class OptimizerService {
   std::shared_ptr<ExecutionBackend> backend_;
   Status init_error_;
   std::unique_ptr<PlanCache> cache_;
+  std::unique_ptr<AdmissionController> admission_;
   SingleFlight flights_;
 
   mutable std::mutex stats_mutex_;

@@ -168,6 +168,24 @@ std::vector<int> Workload::Arrivals(int repeat_cap) const {
   return arrivals;
 }
 
+std::vector<Workload::TimedArrival> Workload::TimedArrivals(
+    int repeat_cap) const {
+  std::vector<TimedArrival> arrivals;
+  for (const ScheduleEntry& entry : schedule) {
+    int reps = entry.repetitions;
+    if (repeat_cap > 0 && reps > repeat_cap) reps = repeat_cap;
+    const int64_t start = entry.start_ms < 0 ? 0 : entry.start_ms;
+    for (int i = 0; i < reps; ++i) {
+      arrivals.push_back({entry.query_index, start + i * entry.spacing_ms});
+    }
+  }
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const TimedArrival& a, const TimedArrival& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+  return arrivals;
+}
+
 StatusOr<Workload> ParseWorkloadSpec(const std::string& text,
                                      const std::string& source) {
   Workload workload;
@@ -395,9 +413,43 @@ StatusOr<Workload> ParseWorkloadSpec(const std::string& text,
       in_query = true;
     } else if (directive == "schedule") {
       int64_t reps = 0;
-      if (tokens.size() != 3 || !ParseInt(tokens[2], &reps) || reps < 1) {
+      if ((tokens.size() != 3 && tokens.size() != 4) ||
+          !ParseInt(tokens[2], &reps) || reps < 1) {
         return SpecError(source, line_no,
-                         "schedule wants: schedule <query> <count >= 1>");
+                         "schedule wants: schedule <query> <count >= 1> "
+                         "[@<start_ms>[+<spacing_ms>]]");
+      }
+      ScheduleEntry entry;
+      if (tokens.size() == 4) {
+        const std::string& at = tokens[3];
+        int64_t start = 0;
+        int64_t spacing = 0;
+        bool ok = at.size() > 1 && at[0] == '@';
+        if (ok) {
+          const size_t plus = at.find('+');
+          if (plus == std::string::npos) {
+            ok = ParseInt(at.substr(1), &start);
+          } else {
+            ok = plus > 1 && plus + 1 < at.size() &&
+                 ParseInt(at.substr(1, plus - 1), &start) &&
+                 ParseInt(at.substr(plus + 1), &spacing);
+          }
+        }
+        if (!ok) {
+          return SpecError(source, line_no,
+                           "arrival time '" + at +
+                               "' is not @<start_ms> or "
+                               "@<start_ms>+<spacing_ms>");
+        }
+        entry.start_ms = start;
+        entry.spacing_ms = spacing;
+      }
+      if (!workload.schedule.empty() &&
+          (workload.schedule.front().start_ms >= 0) !=
+              (entry.start_ms >= 0)) {
+        return SpecError(source, line_no,
+                         "schedule mixes timed (@...) and serial entries; "
+                         "use one style throughout");
       }
       const int index = find_query(tokens[1]);
       if (index < 0) {
@@ -405,8 +457,9 @@ StatusOr<Workload> ParseWorkloadSpec(const std::string& text,
                          "schedule references unknown query '" + tokens[1] +
                              "' (queries must be defined first)");
       }
-      workload.schedule.push_back(
-          {index, static_cast<int>(std::min<int64_t>(reps, 1 << 20))});
+      entry.query_index = index;
+      entry.repetitions = static_cast<int>(std::min<int64_t>(reps, 1 << 20));
+      workload.schedule.push_back(entry);
     } else if (directive == "end") {
       return SpecError(source, line_no, "end outside a query block");
     } else {
@@ -484,8 +537,20 @@ std::string WorkloadFingerprint(const Workload& workload) {
   }
   writer.WriteU32(static_cast<uint32_t>(workload.schedule.size()));
   for (const ScheduleEntry& entry : workload.schedule) {
-    writer.WriteU32(static_cast<uint32_t>(entry.query_index));
-    writer.WriteU32(static_cast<uint32_t>(entry.repetitions));
+    if (entry.start_ms < 0) {
+      // Serial entries keep the original two-word encoding, so every
+      // fingerprint pinned before timed schedules existed is unchanged.
+      writer.WriteU32(static_cast<uint32_t>(entry.query_index));
+      writer.WriteU32(static_cast<uint32_t>(entry.repetitions));
+    } else {
+      // Timed entries flag the index word (indices are tiny, the high
+      // bit is always free) and append both offsets, so a timed entry
+      // can never alias a serial one.
+      writer.WriteU32(static_cast<uint32_t>(entry.query_index) | 0x80000000u);
+      writer.WriteU32(static_cast<uint32_t>(entry.repetitions));
+      writer.WriteU64(static_cast<uint64_t>(entry.start_ms));
+      writer.WriteU64(static_cast<uint64_t>(entry.spacing_ms));
+    }
   }
   const std::vector<uint8_t>& bytes = writer.buffer();
   const uint64_t hi =

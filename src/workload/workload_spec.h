@@ -44,6 +44,15 @@
 //   # hit rates. Omitting the schedule runs each query once.
 //   schedule <query> <count>
 //
+//   # timed variant: the first arrival happens <start_ms> milliseconds
+//   # after replay begins, subsequent repetitions every <spacing_ms>
+//   # (default 0 = simultaneous). A timed schedule is replayed
+//   # OPEN-LOOP: arrivals fire at their offsets whether or not earlier
+//   # queries have finished, which is what makes overload reproducible.
+//   # A schedule is either all timed or all serial — mixing the two
+//   # styles in one spec is an error.
+//   schedule <query> <count> @<start_ms>[+<spacing_ms>]
+//
 // The loader turns a spec into real catalog/query.h Query objects plus
 // per-query options, validates everything (unknown names, zero
 // cardinalities, bad worker counts, ... are Status errors, never
@@ -94,11 +103,18 @@ struct WorkloadQuery {
   MpqOptions options;
 };
 
-/// One arrival-schedule entry: `repetitions` back-to-back arrivals of
-/// queries[query_index].
+/// One arrival-schedule entry: `repetitions` arrivals of
+/// queries[query_index] — back-to-back when serial, or starting at
+/// `start_ms` with one arrival every `spacing_ms` when timed.
 struct ScheduleEntry {
   int query_index = 0;
   int repetitions = 1;
+  /// Milliseconds after replay start of the first arrival; -1 marks a
+  /// serial (untimed) entry. A parsed schedule is homogeneous: either
+  /// every entry is timed or none is (Workload::timed()).
+  int64_t start_ms = -1;
+  /// Milliseconds between successive repetitions of a timed entry.
+  int64_t spacing_ms = 0;
 };
 
 /// A loaded, validated macro workload.
@@ -115,6 +131,24 @@ struct Workload {
   /// (macrobench --smoke runs the full query mix with a shortened
   /// schedule); 0 means uncapped.
   std::vector<int> Arrivals(int repeat_cap = 0) const;
+
+  /// True when the schedule carries @<offset> arrival times (the parser
+  /// guarantees all-or-nothing, so checking one entry suffices).
+  bool timed() const {
+    return !schedule.empty() && schedule.front().start_ms >= 0;
+  }
+
+  /// One arrival with its offset from replay start.
+  struct TimedArrival {
+    int query_index = 0;
+    int64_t at_ms = 0;
+  };
+
+  /// The flattened arrivals of a timed schedule sorted by offset
+  /// (stable: simultaneous arrivals keep schedule order), for open-loop
+  /// replay. Serial entries are treated as @0. Same `repeat_cap`
+  /// contract as Arrivals().
+  std::vector<TimedArrival> TimedArrivals(int repeat_cap = 0) const;
 };
 
 /// Parses and validates one spec. `source` labels error messages

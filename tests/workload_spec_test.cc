@@ -152,6 +152,90 @@ TEST(WorkloadSpecTest, MalformedScheduleRejected) {
   ExpectRejected("schedule q_star2 3", "schedule q_star2 0", "count");
 }
 
+TEST(WorkloadSpecTest, TimedScheduleParsesAndFlattens) {
+  std::string spec(kValidSpec);
+  spec.replace(spec.find("schedule q_star2 3"), 18,
+               "schedule q_star2 3 @100+40\nschedule q_star2 2 @50");
+  StatusOr<Workload> loaded = ParseWorkloadSpec(spec, "tiny.mbw");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Workload& w = loaded.value();
+  EXPECT_TRUE(w.timed());
+  ASSERT_EQ(w.schedule.size(), 2u);
+  EXPECT_EQ(w.schedule[0].start_ms, 100);
+  EXPECT_EQ(w.schedule[0].spacing_ms, 40);
+  EXPECT_EQ(w.schedule[1].start_ms, 50);
+  EXPECT_EQ(w.schedule[1].spacing_ms, 0);  // @<start> alone: simultaneous
+
+  // Flattening sorts by offset: the @50 pair fires before the @100+40
+  // run, and repetitions step by the spacing.
+  const std::vector<Workload::TimedArrival> arrivals = w.TimedArrivals();
+  ASSERT_EQ(arrivals.size(), 5u);
+  const int64_t want_ms[] = {50, 50, 100, 140, 180};
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i].at_ms, want_ms[i]) << "arrival " << i;
+    EXPECT_EQ(arrivals[i].query_index, 0);
+  }
+  // The repeat cap applies per entry, exactly like Arrivals().
+  EXPECT_EQ(w.TimedArrivals(/*repeat_cap=*/1).size(), 2u);
+
+  // A serial workload is not timed, and its TimedArrivals all land at 0.
+  const Workload serial = ParseWorkloadSpec(kValidSpec, "tiny.mbw").value();
+  EXPECT_FALSE(serial.timed());
+  for (const Workload::TimedArrival& a : serial.TimedArrivals()) {
+    EXPECT_EQ(a.at_ms, 0);
+  }
+}
+
+TEST(WorkloadSpecTest, TimedAndSerialSchedulesCannotMix) {
+  ExpectRejected("schedule q_star2 3",
+                 "schedule q_star2 3 @0\nschedule q_star2 2",
+                 "mixes timed");
+  ExpectRejected("schedule q_star2 3",
+                 "schedule q_star2 3\nschedule q_star2 2 @10",
+                 "mixes timed");
+}
+
+TEST(WorkloadSpecTest, MalformedArrivalTimesRejected) {
+  ExpectRejected("schedule q_star2 3", "schedule q_star2 3 @",
+                 "arrival time");
+  ExpectRejected("schedule q_star2 3", "schedule q_star2 3 100",
+                 "arrival time");
+  ExpectRejected("schedule q_star2 3", "schedule q_star2 3 @-5",
+                 "arrival time");
+  ExpectRejected("schedule q_star2 3", "schedule q_star2 3 @10+",
+                 "arrival time");
+  ExpectRejected("schedule q_star2 3", "schedule q_star2 3 @+40",
+                 "arrival time");
+  ExpectRejected("schedule q_star2 3", "schedule q_star2 3 @10+4x",
+                 "arrival time");
+}
+
+TEST(WorkloadSpecTest, TimedScheduleMovesFingerprint) {
+  // The offsets are part of the workload identity: @0 is not serial,
+  // and different offsets/spacings are different workloads.
+  const std::string base(kValidSpec);
+  const char* variants[] = {
+      "schedule q_star2 3 @0",
+      "schedule q_star2 3 @100",
+      "schedule q_star2 3 @100+40",
+  };
+  std::vector<std::string> prints;
+  prints.push_back(WorkloadFingerprint(
+      ParseWorkloadSpec(base, "tiny.mbw").value()));
+  for (const char* schedule : variants) {
+    std::string spec(base);
+    spec.replace(spec.find("schedule q_star2 3"), 18, schedule);
+    StatusOr<Workload> loaded = ParseWorkloadSpec(spec, "tiny.mbw");
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    prints.push_back(WorkloadFingerprint(loaded.value()));
+  }
+  for (size_t i = 0; i < prints.size(); ++i) {
+    for (size_t j = i + 1; j < prints.size(); ++j) {
+      EXPECT_NE(prints[i], prints[j]) << i << " vs " << j;
+    }
+  }
+}
+
 TEST(WorkloadSpecTest, SmaVariantAllowsAnyWorkerCount) {
   std::string spec(kValidSpec);
   spec.replace(spec.find("workers 4"), 9, "workers 3\n  variant sma");
@@ -200,6 +284,7 @@ TEST(WorkloadSpecTest, ShippedWorkloadGoldensAreByteStable) {
     const char* fingerprint;
   } goldens[] = {
       {"analytics_mix.mbw", "mbw1-e406a78b6152455ee8b1c686e17d1e6d"},
+      {"burst_open_loop.mbw", "mbw1-9c1456ebeb636f6fbe531d0c2c6898d1"},
       {"oltp_repeat.mbw", "mbw1-4b1fd7ef46ba77b6b551391a7be2bd97"},
       {"sma_sessions.mbw", "mbw1-033ff3f5570b20c2a8861572296ec75e"},
   };

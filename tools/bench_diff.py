@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json benchmark trajectories.
+
+Every bench binary emits records in the BenchJsonWriter schema
+(bench/bench_common.h): a flat JSON array of objects with the identity
+triple (bench, config, metric) plus value, units, and the build/source
+labels. This tool joins two files on the triple and reports the
+per-record delta — the entire trajectory-comparison contract.
+
+Two kinds of gate, both exiting nonzero on violation:
+
+* Drift (always on): records whose units are deterministic — "count",
+  "bool", and "%" by default — must match the baseline EXACTLY, and a
+  record present in the baseline must still exist in the candidate.
+  These values (arrival counts, plan-identity bits, cache hit rates,
+  session counters) are properties of the checked-in workloads and the
+  code, not of the machine, so any change is a real behavior change:
+  regenerate the committed baseline in the same PR, like a golden.
+
+* Regression threshold (opt-in): --threshold-pct=N gates the noisy
+  timing units too — "ms" may not rise and "q/s" may not fall by more
+  than N percent. Off by default because shared CI runners are too
+  noisy for wall-clock thresholds; use it for local A/B runs, e.g.
+  `bench_diff.py before.json after.json --threshold-pct=10`.
+
+Records only in the candidate (a newly added bench or workload) are
+reported but never fail the diff. Exit codes: 0 clean, 1 drift or
+regression, 2 usage/input error.
+"""
+
+import argparse
+import json
+import sys
+
+# Units whose values are machine-independent: equality is the gate.
+DEFAULT_DRIFT_UNITS = ("count", "bool", "%")
+# Timing units gated only under --threshold-pct, with a direction:
+# "ms" regresses upward, "q/s" regresses downward.
+HIGHER_IS_WORSE = ("ms", "bytes")
+LOWER_IS_WORSE = ("q/s",)
+
+
+def load_records(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"bench_diff: cannot read {path}: {err}")
+    if not isinstance(data, list):
+        sys.exit(f"bench_diff: {path}: expected a JSON array of records")
+    records = {}
+    labels = set()
+    for i, rec in enumerate(data):
+        try:
+            key = (rec["bench"], rec["config"], rec["metric"])
+            value = float(rec["value"])
+            units = rec["units"]
+        except (TypeError, KeyError) as err:
+            sys.exit(f"bench_diff: {path}: record {i} is malformed: {err}")
+        if key in records:
+            sys.exit(f"bench_diff: {path}: duplicate record {key}")
+        records[key] = (value, units)
+        labels.add((rec.get("build", "?"), rec.get("source", "?")))
+    return records, labels
+
+
+def fmt_key(key):
+    bench, config, metric = key
+    return f"{bench}[{config}].{metric}"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json benchmark trajectories."
+    )
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold-pct",
+        type=float,
+        default=None,
+        metavar="N",
+        help="also gate timing units: fail when ms rises or q/s falls "
+        "by more than N%% (default: timing deltas are reported only)",
+    )
+    parser.add_argument(
+        "--drift-units",
+        default=",".join(DEFAULT_DRIFT_UNITS),
+        metavar="CSV",
+        help="units gated on exact equality (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="downgrade baseline records absent from the candidate "
+        "from a failure to a note",
+    )
+    args = parser.parse_args()
+    drift_units = {u for u in args.drift_units.split(",") if u}
+
+    base, base_labels = load_records(args.baseline)
+    cand, cand_labels = load_records(args.candidate)
+    print(
+        f"baseline  {args.baseline}  "
+        f"({', '.join('/'.join(l) for l in sorted(base_labels))})"
+    )
+    print(
+        f"candidate {args.candidate}  "
+        f"({', '.join('/'.join(l) for l in sorted(cand_labels))})"
+    )
+
+    failures = []
+    notes = []
+    compared = 0
+    for key in sorted(base):
+        if key not in cand:
+            msg = f"MISSING  {fmt_key(key)} (in baseline only)"
+            (notes if args.allow_missing else failures).append(msg)
+            continue
+        base_value, base_units = base[key]
+        cand_value, cand_units = cand[key]
+        compared += 1
+        if base_units != cand_units:
+            failures.append(
+                f"UNITS    {fmt_key(key)}: {base_units} -> {cand_units}"
+            )
+            continue
+        delta = cand_value - base_value
+        pct = (delta / base_value * 100.0) if base_value != 0 else None
+        pct_str = f" ({pct:+.1f}%)" if pct is not None else ""
+        line = (
+            f"{fmt_key(key)}: {base_value:g} -> {cand_value:g} "
+            f"{base_units}{pct_str}"
+        )
+        if base_units in drift_units:
+            if cand_value != base_value:
+                failures.append(f"DRIFT    {line}")
+            continue
+        if args.threshold_pct is not None and pct is not None:
+            regressed = (
+                base_units in HIGHER_IS_WORSE and pct > args.threshold_pct
+            ) or (
+                base_units in LOWER_IS_WORSE and pct < -args.threshold_pct
+            )
+            if regressed:
+                failures.append(f"REGRESS  {line}")
+                continue
+        if delta != 0:
+            notes.append(f"delta    {line}")
+    for key in sorted(set(cand) - set(base)):
+        notes.append(f"new      {fmt_key(key)} (candidate only)")
+
+    for line in notes:
+        print(line)
+    for line in failures:
+        print(line)
+    gate = "drift"
+    if args.threshold_pct is not None:
+        gate += f" + {args.threshold_pct:g}% threshold"
+    print(
+        f"{compared} records compared, {len(notes)} ungated deltas/notes, "
+        f"{len(failures)} failures ({gate} gate)"
+    )
+    if failures:
+        print(
+            "bench_diff: FAIL — if the change is deliberate, regenerate "
+            "the committed baseline in the same PR",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,12 @@ struct CliOptions {
   bool plan_cache = false;
   int plan_cache_mb = 64;
   double plan_cache_ttl = 0;
+  bool admission = false;
+  double tenant_rate = 0;
+  double tenant_burst = 1;
+  Priority priority = Priority::kInteractive;
+  int queue_depth = 64;
+  bool coalesce = false;
   /// True once any serving-only flag (--plan-cache*, --unique-queries)
   /// was given, so Main can reject them outside serving mode instead of
   /// silently ignoring them.
@@ -102,6 +108,22 @@ const FlagDoc kFlagDocs[] = {
     {"--plan-cache-mb", "MB", "plan cache byte budget (default 64)"},
     {"--plan-cache-ttl", "SECONDS",
      "plan cache entry lifetime (0 = never expires)"},
+    {"--admission", nullptr,
+     "serving mode: admission control in front of the backend "
+     "(quota + bounded priority queue)"},
+    {"--tenant-rate", "R",
+     "admission: per-tenant sustained admissions/second "
+     "(default 0 = unlimited)"},
+    {"--tenant-burst", "B",
+     "admission: per-tenant burst credit (bucket capacity, default 1)"},
+    {"--priority", nullptr /* filled from PriorityList() */,
+     "admission: priority class the queries run as (default interactive)"},
+    {"--queue-depth", "N",
+     "admission: per-class queue depth; arrivals past it are shed "
+     "(default 64)"},
+    {"--coalesce", nullptr,
+     "rpc: coalesce per-partition scatter requests into one batch frame "
+     "per worker"},
     {"--processes", nullptr, "alias for --backend=process"},
     {"--help", nullptr, "print this message"},
 };
@@ -109,12 +131,15 @@ const FlagDoc kFlagDocs[] = {
 void PrintUsage(FILE* out, const char* argv0) {
   std::fprintf(out, "usage: %s [flags]\n", argv0);
   const std::string backends = BackendKindList();
+  const std::string priorities = PriorityList();
   for (const FlagDoc& doc : kFlagDocs) {
-    const char* value =
-        doc.value != nullptr
-            ? doc.value
-            : (std::strcmp(doc.name, "--backend") == 0 ? backends.c_str()
-                                                       : nullptr);
+    const char* value = doc.value;
+    if (value == nullptr && std::strcmp(doc.name, "--backend") == 0) {
+      value = backends.c_str();
+    }
+    if (value == nullptr && std::strcmp(doc.name, "--priority") == 0) {
+      value = priorities.c_str();
+    }
     std::string flag = doc.name;
     if (value != nullptr) {
       flag += "=";
@@ -234,6 +259,40 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
     } else if (ParseFlag(argv[i], "--plan-cache", &v)) {
       opts->plan_cache = true;
       opts->serving_flags_used = true;
+    } else if (ParseFlag(argv[i], "--admission", &v)) {
+      opts->admission = true;
+      opts->serving_flags_used = true;
+    } else if (ParseFlag(argv[i], "--tenant-rate", &v)) {
+      opts->tenant_rate = std::atof(v.c_str());
+      opts->serving_flags_used = true;
+      if (opts->tenant_rate < 0) {
+        std::fprintf(stderr, "--tenant-rate must be >= 0\n");
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--tenant-burst", &v)) {
+      opts->tenant_burst = std::atof(v.c_str());
+      opts->serving_flags_used = true;
+      if (opts->tenant_burst < 1) {
+        std::fprintf(stderr, "--tenant-burst must be >= 1\n");
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--priority", &v)) {
+      StatusOr<Priority> priority = ParsePriority(v);
+      opts->serving_flags_used = true;
+      if (!priority.ok()) {
+        std::fprintf(stderr, "%s\n", priority.status().ToString().c_str());
+        return false;
+      }
+      opts->priority = priority.value();
+    } else if (ParseFlag(argv[i], "--queue-depth", &v)) {
+      opts->queue_depth = std::atoi(v.c_str());
+      opts->serving_flags_used = true;
+      if (opts->queue_depth < 0) {
+        std::fprintf(stderr, "--queue-depth must be >= 0\n");
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--coalesce", &v)) {
+      opts->coalesce = true;
     } else if (ParseFlag(argv[i], "--processes", &v)) {
       // Back-compat alias for --backend=process.
       opts->backend = BackendKind::kProcess;
@@ -290,6 +349,7 @@ StatusOr<std::shared_ptr<ExecutionBackend>> BuildBackend(
   backend_opts.workers_addr = cli.workers_addr;
   backend_opts.worker_retries = cli.worker_retries;
   backend_opts.worker_backoff_ms = cli.worker_backoff_ms;
+  backend_opts.coalesce_scatter = cli.coalesce;
   return MakeBackend(cli.backend, backend_opts);
 }
 
@@ -339,8 +399,14 @@ int RunService(QueryGenerator* generator, const CliOptions& cli) {
   service_opts.plan_cache_bytes =
       static_cast<size_t>(cli.plan_cache_mb) << 20;
   service_opts.plan_cache_ttl_seconds = cli.plan_cache_ttl;
+  service_opts.enable_admission = cli.admission;
+  service_opts.admission.tenant_rate = cli.tenant_rate;
+  service_opts.admission.tenant_burst = cli.tenant_burst;
+  service_opts.admission.queue_depth = cli.queue_depth;
   OptimizerService service(service_opts);
-  const BatchReport report = service.OptimizeBatch(queries, opts);
+  RequestContext ctx;
+  ctx.priority = cli.priority;
+  const BatchReport report = service.OptimizeBatch(queries, opts, ctx);
 
   std::printf("service backend    %s\n", service.backend().name());
   for (size_t i = 0; i < report.results.size(); ++i) {
@@ -369,6 +435,21 @@ int RunService(QueryGenerator* generator, const CliOptions& cli) {
   sessions.sessions_recovered = stats.sessions_recovered;
   sessions.sessions_failed = stats.sessions_failed;
   PrintSessionCounters(sessions);
+  if (cli.admission) {
+    std::printf("admission          %llu admitted (as %s), %llu over quota, "
+                "%llu shed at full queue, %llu timed out\n",
+                static_cast<unsigned long long>(stats.admitted),
+                PriorityName(cli.priority),
+                static_cast<unsigned long long>(stats.rejected_quota),
+                static_cast<unsigned long long>(stats.rejected_queue),
+                static_cast<unsigned long long>(stats.admission_timed_out));
+  }
+  if (stats.scatter_batches > 0) {
+    std::printf("scatter coalescing %llu task requests rode %llu batch "
+                "frames\n",
+                static_cast<unsigned long long>(stats.tasks_coalesced),
+                static_cast<unsigned long long>(stats.scatter_batches));
+  }
   if (cli.plan_cache) {
     std::printf("plan cache         %llu hits / %llu misses / %llu evictions"
                 " (capacity %llu / ttl %llu / invalidated %llu)\n",
@@ -538,7 +619,8 @@ int Main(int argc, char** argv) {
     // cache must not believe it was active when it never existed.
     std::fprintf(stderr,
                  "error: --plan-cache/--plan-cache-mb/--plan-cache-ttl/"
-                 "--unique-queries require serving mode "
+                 "--unique-queries/--admission/--tenant-rate/--tenant-burst/"
+                 "--priority/--queue-depth require serving mode "
                  "(--concurrent-queries>=1, not --variant=pqo)\n");
     return 2;
   }
