@@ -21,6 +21,7 @@
 #include "catalog/generator.h"
 #include "exp/harness.h"
 #include "mpq/mpq.h"
+#include "obs/percentile.h"  // obs::Percentile — THE tail-latency estimator
 #include "sma/sma.h"
 
 namespace mpqopt {

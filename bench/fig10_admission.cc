@@ -72,15 +72,7 @@ std::string PlanSignature(const PlanArena& arena,
   return out;
 }
 
-double Percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0;
-  std::sort(values.begin(), values.end());
-  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
-  const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, values.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return values[lo] + (values[hi] - values[lo]) * frac;
-}
+using obs::Percentile;
 
 /// The overload stream: every third arrival is a heavy background
 /// query, the rest are light interactive lookups.

@@ -33,6 +33,11 @@
 //                        checked-in bench/workloads/, baked in at
 //                        compile time; MPQOPT_WORKLOAD_DIR overrides)
 //   --backends=<csv>     subset of thread,process,async,rpc
+//   --trace-out=<path>   per-query span traces as Chrome trace-event
+//                        JSON (also enables the admission layer with
+//                        effectively unlimited slots, so the traces
+//                        show the full front door; CI validates the
+//                        file with tools/check_trace.py)
 //
 // Knobs: MPQOPT_RPC_WORKERS (default 2 worker processes; 0 disables the
 // rpc sweep), MPQOPT_POOL_THREADS (4), and the shared network knobs of
@@ -63,6 +68,8 @@
 #include <thread>
 
 #include "bench/bench_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/plan_serde.h"
 #include "plancache/fingerprint.h"
 #include "service/optimizer_service.h"
@@ -97,15 +104,7 @@ std::string PlanSignature(const PlanArena& arena,
   return out;
 }
 
-double Percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0;
-  std::sort(values.begin(), values.end());
-  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
-  const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, values.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return values[lo] + (values[hi] - values[lo]) * frac;
-}
+using obs::Percentile;
 
 /// Everything one (workload, backend) run produces.
 struct WorkloadRun {
@@ -122,11 +121,22 @@ struct WorkloadRun {
 
 WorkloadRun RunWorkload(const Workload& workload,
                         const std::shared_ptr<ExecutionBackend>& backend,
-                        int repeat_cap) {
+                        int repeat_cap, obs::TraceCollector* collector) {
   WorkloadRun run;
   ServiceOptions service_opts;
   service_opts.backend = backend;
   service_opts.enable_plan_cache = true;
+  if (collector != nullptr) {
+    service_opts.trace_collector = collector;
+    // Tracing runs also exercise the admission layer so the trace shows
+    // the full front door (admission.quota / admission.queue_wait spans)
+    // — but with slots and queue depth far above anything the workloads
+    // offer, so no arrival is ever actually shed or reordered and the
+    // deterministic plan-choice contract is untouched.
+    service_opts.enable_admission = true;
+    service_opts.admission.max_concurrent = 1 << 16;
+    service_opts.admission.queue_depth = 1 << 16;
+  }
   OptimizerService service(service_opts);
 
   // Session counters live on the SHARED backend and accumulate across
@@ -261,6 +271,7 @@ int main(int argc, char** argv) {
     workload_dir = env;
   }
   std::string backends_csv = "thread,process,async,rpc";
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -268,14 +279,22 @@ int main(int argc, char** argv) {
       workload_dir = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--backends=", 11) == 0) {
       backends_csv = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--smoke] [--json=PATH] "
-                   "[--workloads=DIR] [--backends=thread,process,async,rpc]\n",
+                   "[--workloads=DIR] [--backends=thread,process,async,rpc] "
+                   "[--trace-out=PATH]\n",
                    argv[i], argv[0]);
       return 2;
     }
   }
+  obs::TraceCollectorOptions trace_opts;
+  trace_opts.chrome_out_path = trace_out;
+  obs::TraceCollector collector(trace_opts);
+  obs::TraceCollector* const collector_ptr =
+      trace_out.empty() ? nullptr : &collector;
   const int repeat_cap =
       smoke ? 2 : static_cast<int>(EnvInt("MPQOPT_MACRO_REPEAT_CAP", 0));
   const int pool_threads = static_cast<int>(EnvInt("MPQOPT_POOL_THREADS", 4));
@@ -372,8 +391,21 @@ int main(int argc, char** argv) {
                         "hit rate", "sessions", "plans"});
     for (const BackendEntry& entry : roster) {
       const char* backend_name = BackendKindName(entry.kind);
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      // Register-or-fetch up front so the Since() deltas below are
+      // well-defined even for a run that never records (e.g. queue wait
+      // without admission enabled).
+      obs::Histogram* const service_hist = registry.GetHistogram(
+          obs::kServiceLatencyHistogram, obs::Histogram::LatencyBoundariesMs());
+      obs::Histogram* const queue_hist = registry.GetHistogram(
+          obs::kQueueWaitHistogram, obs::Histogram::LatencyBoundariesMs());
+      obs::Histogram* const round_hist = registry.GetHistogram(
+          obs::kRoundTimeHistogram, obs::Histogram::LatencyBoundariesMs());
+      const obs::HistogramSnapshot service_before = service_hist->Snapshot();
+      const obs::HistogramSnapshot queue_before = queue_hist->Snapshot();
+      const obs::HistogramSnapshot round_before = round_hist->Snapshot();
       const WorkloadRun run =
-          RunWorkload(workload, entry.backend, repeat_cap);
+          RunWorkload(workload, entry.backend, repeat_cap, collector_ptr);
       if (!run.ok) {
         std::fprintf(stderr, "workload %s on %s failed: %s\n",
                      workload.name.c_str(), backend_name, run.error.c_str());
@@ -448,6 +480,29 @@ int main(int argc, char** argv) {
                static_cast<double>(run.session_rounds), "count");
       json.Add("macrobench", config, "arrivals",
                static_cast<double>(arrivals), "count");
+      // Tail latencies as the serving stack itself measured them — the
+      // global registry's fixed-boundary histograms, windowed to exactly
+      // this run by snapshot subtraction. service.latency_ms only counts
+      // queries that went THROUGH OptimizerService (SMA arrivals bypass
+      // it), and admission.queue_wait_ms only fills under --trace-out
+      // (which enables the admission layer), so counts are recorded
+      // alongside the percentiles.
+      const auto add_hist = [&](const char* prefix,
+                                const obs::HistogramSnapshot& delta) {
+        json.Add("macrobench", config, std::string(prefix) + "_count",
+                 static_cast<double>(delta.count), "count");
+        if (delta.count == 0) return;
+        json.Add("macrobench", config, std::string(prefix) + "_p50",
+                 delta.Percentile(50), "ms");
+        json.Add("macrobench", config, std::string(prefix) + "_p95",
+                 delta.Percentile(95), "ms");
+        json.Add("macrobench", config, std::string(prefix) + "_p99",
+                 delta.Percentile(99), "ms");
+      };
+      add_hist("hist_service_latency",
+               service_hist->Snapshot().Since(service_before));
+      add_hist("hist_queue_wait", queue_hist->Snapshot().Since(queue_before));
+      add_hist("hist_round_time", round_hist->Snapshot().Since(round_before));
     }
     table.Print();
     std::printf("\n");
@@ -458,6 +513,16 @@ int main(int argc, char** argv) {
              plans_identical ? 1 : 0, "bool");
   }
   if (!json_path.empty() && !json.WriteTo(json_path)) return 1;
+
+  if (collector_ptr != nullptr) {
+    const Status written = collector.WriteChromeTrace();
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu query traces to %s (chrome://tracing)\n\n",
+                collector.collected(), trace_out.c_str());
+  }
 
   if (!plans_identical) {
     std::fprintf(stderr,

@@ -5,6 +5,8 @@
 #include <atomic>
 #include <chrono>
 
+#include "obs/trace.h"
+
 namespace mpqopt {
 
 /// One submitted round, shared between the submitter and the pool.
@@ -24,6 +26,12 @@ struct AsyncBatchBackend::ActiveRound {
   const std::vector<std::vector<uint8_t>>* requests = nullptr;
   RoundResult* result = nullptr;
   size_t num_tasks = 0;
+
+  /// The submitter's trace (null = untraced round). Carried in the round
+  /// itself, not thread-locally: pool threads execute tasks of whichever
+  /// round has work, so the span must follow the round.
+  obs::QueryTrace* trace = nullptr;
+  uint32_t trace_parent = obs::kNoSpan;
 
   /// Lock-free task handoff: claim = one fetch_add.
   std::atomic<size_t> next_task{0};
@@ -63,12 +71,18 @@ AsyncBatchBackend::~AsyncBatchBackend() {
 bool AsyncBatchBackend::RunOneTask(ActiveRound* round) {
   const size_t i = round->next_task.fetch_add(1);
   if (i >= round->num_tasks) return false;
+  const uint64_t span_start =
+      round->trace != nullptr ? obs::MonotonicNanos() : 0;
   const auto start = std::chrono::steady_clock::now();
   StatusOr<std::vector<uint8_t>> response =
       (*round->tasks)[i]((*round->requests)[i]);
   const auto end = std::chrono::steady_clock::now();
   round->result->compute_seconds[i] =
       std::chrono::duration<double>(end - start).count();
+  if (round->trace != nullptr) {
+    round->trace->AddCompleteSpan("compute", round->trace_parent, span_start,
+                                  obs::MonotonicNanos());
+  }
   if (response.ok()) {
     round->result->responses[i] = std::move(response).value();
   } else {
@@ -136,6 +150,9 @@ StatusOr<RoundResult> AsyncBatchBackend::RunRound(
     round->requests = &requests;
     round->result = &result;
     round->num_tasks = num_tasks;
+    const obs::TraceContext submitter_ctx = obs::CurrentTraceContext();
+    round->trace = submitter_ctx.trace;
+    round->trace_parent = submitter_ctx.span;
 
     {
       std::lock_guard<std::mutex> lock(registry_mutex_);

@@ -6,6 +6,7 @@
 #include "cluster/process_backend.h"
 #include "cluster/rpc_backend.h"
 #include "cluster/thread_backend.h"
+#include "obs/metrics.h"
 
 namespace mpqopt {
 
@@ -26,6 +27,12 @@ void AccountRound(const NetworkModel& model,
   }
   result->simulated_seconds =
       static_cast<double>(num_tasks) * model.task_setup_s + slowest;
+  // Every backend (and session round) finishes through here with the
+  // measured wall time already set, so this one histogram covers them all.
+  static obs::Histogram* const round_ms =
+      obs::MetricsRegistry::Global().GetHistogram(
+          obs::kRoundTimeHistogram, obs::Histogram::LatencyBoundariesMs());
+  round_ms->Record(result->wall_seconds * 1e3);
 }
 
 void ExecutionBackend::FinalizeRound(

@@ -8,6 +8,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace mpqopt {
 namespace {
 
@@ -58,6 +60,9 @@ StatusOr<RoundResult> ProcessBackend::RunRound(
   std::lock_guard<std::mutex> fork_lock(fork_mutex_);
   const auto round_start = std::chrono::steady_clock::now();
   for (size_t i = 0; i < num_tasks; ++i) {
+    // Spans the task's whole fork/compute/reap on the master thread; the
+    // child's trace writes die with its copy-on-write address space.
+    obs::Span compute_span("compute");
     int pipe_fds[2];
     if (::pipe(pipe_fds) != 0) {
       return Status::Internal("pipe() failed");

@@ -15,8 +15,59 @@
 #include "cluster/session/session_wire.h"
 #include "cluster/task_registry.h"
 #include "common/serialize.h"
+#include "obs/trace.h"
+#include "obs/worker_log.h"
 
 namespace mpqopt {
+
+namespace {
+
+/// Bytes a traced envelope adds in front of the inner request
+/// (u64 trace id + u8 inner kind).
+constexpr size_t kTracedEnvelopeBytes = sizeof(uint64_t) + sizeof(uint8_t);
+
+/// Grafts worker-side span timings into `trace` under `parent`. The
+/// worker reports RELATIVE nanoseconds from envelope entry; re-base so
+/// the envelope ENDS now (the reply was just parsed — network transfer
+/// shows up as the gap between rpc.exchange start and worker.serve
+/// start). spans[0] covers the whole envelope and parents the rest.
+void GraftWorkerSpans(obs::QueryTrace* trace, uint32_t parent,
+                      const std::vector<ImportedSpan>& spans) {
+  if (trace == nullptr || spans.empty()) return;
+  const uint64_t now = obs::MonotonicNanos();
+  const uint64_t total = spans[0].start_rel_ns + spans[0].dur_ns;
+  const uint64_t base = now >= total ? now - total : 0;
+  uint32_t worker_root = parent;
+  for (size_t k = 0; k < spans.size(); ++k) {
+    const uint64_t start = base + spans[k].start_rel_ns;
+    const uint32_t id = trace->AddCompleteSpan(
+        spans[k].name, k == 0 ? parent : worker_root, start,
+        start + spans[k].dur_ns);
+    if (k == 0) worker_root = id;
+  }
+}
+
+/// Splits a traced-task reply in place: grafts the worker spans into the
+/// calling thread's active trace and leaves exactly the inner response
+/// bytes in `response` — downstream parsing sees the untraced protocol.
+Status StripTraceBlock(std::vector<uint8_t>* response) {
+  uint64_t trace_id = 0;
+  std::vector<ImportedSpan> spans;
+  std::vector<uint8_t> inner;
+  Status s = ParseTracedTaskResponse(*response, &trace_id, &spans, &inner);
+  if (!s.ok()) {
+    return Status::Corruption("traced rpc reply is malformed: " +
+                              s.ToString());
+  }
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  if (ctx.trace != nullptr && ctx.trace->trace_id() == trace_id) {
+    GraftWorkerSpans(ctx.trace, ctx.span, spans);
+  }
+  *response = std::move(inner);
+  return Status::OK();
+}
+
+}  // namespace
 
 StatusOr<std::shared_ptr<RpcBackend>> RpcBackend::Connect(
     NetworkModel model, const std::vector<std::string>& endpoints,
@@ -198,6 +249,22 @@ StatusOr<RoundResult> RpcBackend::RunRound(
     kinds[i] = static_cast<uint8_t>(kind);
   }
 
+  // With an active trace on the calling thread, each request ships inside
+  // a kTracedTask envelope carrying the query's trace id; the worker
+  // returns its serve-loop timings ahead of the real response, which
+  // StripTraceBlock grafts into the trace and removes — every byte the
+  // round's consumers see is identical to the untraced protocol. A
+  // request too close to the frame limit for the 9-byte envelope ships
+  // plain (it merely loses its worker-side spans).
+  const obs::TraceContext round_ctx = obs::CurrentTraceContext();
+  const uint64_t trace_id =
+      round_ctx.trace != nullptr ? round_ctx.trace->trace_id() : 0;
+  const uint8_t traced_kind = static_cast<uint8_t>(RpcTaskKind::kTracedTask);
+  const auto wrap_task = [&](size_t i) {
+    return round_ctx.trace != nullptr &&
+           requests[i].size() + kTracedEnvelopeBytes <= kMaxFramePayloadBytes;
+  };
+
   // Round-level recovery loop: scatter the pending tasks over the usable
   // workers; connection-level failures leave their tasks pending and the
   // next pass re-scatters them over whoever is usable then (the
@@ -254,11 +321,17 @@ StatusOr<RoundResult> RpcBackend::RunRound(
     // so a connection never sees interleaved frames from the same round.
     // The per-round rotating base spreads concurrent small rounds across
     // the whole pool instead of serializing them all behind worker 0.
+    obs::Span pass_span("rpc.scatter_pass");
+    const obs::TraceContext lane_ctx = obs::CurrentTraceContext();
     const size_t lanes = std::min(usable.size(), pending.size());
     const size_t base =
         round_offset_.fetch_add(1, std::memory_order_relaxed) %
         usable.size();
     const auto run_lane = [&](size_t lane) {
+      // Lane threads adopt the submitting thread's trace context (the
+      // scatter-pass span) so their exchange spans land in the tree.
+      obs::TraceContextScope lane_scope(lane_ctx);
+      obs::Span lane_span("rpc.lane");
       const size_t w = usable[(base + lane) % usable.size()];
       if (coalesce_scatter_) {
         // Coalesced scatter: this lane's whole share goes to worker `w`
@@ -268,10 +341,19 @@ StatusOr<RoundResult> RpcBackend::RunRound(
         std::vector<BatchItem> items(
             (pending.size() - lane + lanes - 1) / lanes);
         std::vector<BatchItem*> item_ptrs(items.size());
+        std::vector<std::vector<uint8_t>> wrapped;
+        if (round_ctx.trace != nullptr) wrapped.resize(items.size());
         for (size_t n = 0, p = lane; p < pending.size(); ++n, p += lanes) {
           const size_t i = pending[p];
-          items[n].kind = kinds[i];
-          items[n].request = &requests[i];
+          if (wrap_task(i)) {
+            wrapped[n] = BuildTracedTaskRequest(
+                trace_id, static_cast<RpcTaskKind>(kinds[i]), requests[i]);
+            items[n].kind = traced_kind;
+            items[n].request = &wrapped[n];
+          } else {
+            items[n].kind = kinds[i];
+            items[n].request = &requests[i];
+          }
           items[n].response = &result.responses[i];
           items[n].compute_seconds = &result.compute_seconds[i];
           item_ptrs[n] = &items[n];
@@ -279,6 +361,9 @@ StatusOr<RoundResult> RpcBackend::RunRound(
         ExchangeCoalesced(w, item_ptrs);
         for (size_t n = 0, p = lane; p < pending.size(); ++n, p += lanes) {
           const size_t i = pending[p];
+          if (items[n].status.ok() && items[n].kind == traced_kind) {
+            items[n].status = StripTraceBlock(&result.responses[i]);
+          }
           if (items[n].status.ok()) {
             done[i] = 1;
             continue;
@@ -295,10 +380,21 @@ StatusOr<RoundResult> RpcBackend::RunRound(
       for (size_t p = lane; p < pending.size(); p += lanes) {
         const size_t i = pending[p];
         bool worker_failed = false;
-        Status s = supervisor_->Exchange(w, kinds[i], requests[i],
-                                         &result.responses[i],
-                                         &result.compute_seconds[i],
-                                         &worker_failed);
+        Status s;
+        if (wrap_task(i)) {
+          const std::vector<uint8_t> wrapped_request = BuildTracedTaskRequest(
+              trace_id, static_cast<RpcTaskKind>(kinds[i]), requests[i]);
+          s = supervisor_->Exchange(w, traced_kind, wrapped_request,
+                                    &result.responses[i],
+                                    &result.compute_seconds[i],
+                                    &worker_failed);
+          if (s.ok()) s = StripTraceBlock(&result.responses[i]);
+        } else {
+          s = supervisor_->Exchange(w, kinds[i], requests[i],
+                                    &result.responses[i],
+                                    &result.compute_seconds[i],
+                                    &worker_failed);
+        }
         if (s.ok()) {
           done[i] = 1;
           continue;
@@ -396,9 +492,8 @@ void ServeRpcConnection(Socket socket, RpcServeOptions serve) {
       // what a mid-round node death looks like. Pings are exempt — the
       // budget counts task work (session frames included), and reconnect
       // probes must not skew it.
-      std::fprintf(stderr,
-                   "mpqopt_worker: --chaos-kill-after budget exhausted, "
-                   "crashing without reply\n");
+      obs::WorkerLogf(
+          "--chaos-kill-after budget exhausted, crashing without reply");
       std::_Exit(42);
     }
     if (request.kind >= kSessionFrameKindBase) {

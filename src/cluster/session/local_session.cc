@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "obs/trace.h"
 
 namespace mpqopt {
 
@@ -93,6 +94,7 @@ StatusOr<RoundResult> LocalSessionHandle::Broadcast(
   RoundResult result;
   result.responses.resize(m);
   result.compute_seconds.assign(m, 0.0);
+  obs::Span round_span("session.round");
   const auto round_start = std::chrono::steady_clock::now();
   for (size_t i = 0; i < m; ++i) {
     const auto start = std::chrono::steady_clock::now();

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "cluster/session/session_wire.h"
+#include "obs/trace.h"
 
 namespace mpqopt {
 namespace {
@@ -120,7 +121,10 @@ StatusOr<RoundResult> RpcSessionHandle::RunSessionRound(
   for (size_t i = 0; i < m; ++i) lanes[nodes_[i].worker].push_back(i);
   std::mutex error_mutex;
   Status round_error = Status::OK();
+  obs::Span round_span("session.round");
+  const obs::TraceContext lane_ctx = obs::CurrentTraceContext();
   const auto run_lane = [&](const std::vector<size_t>& node_indices) {
+    obs::TraceContextScope lane_scope(lane_ctx);
     for (size_t i : node_indices) {
       Status s = StepNode(&nodes_[i], *requests[i], &result.responses[i],
                           &result.compute_seconds[i]);
@@ -204,6 +208,7 @@ Status RpcSessionHandle::StepNode(Node* node,
 
 Status RpcSessionHandle::RecoverNode(Node* node, bool prefer_current,
                                      bool* final_failure) {
+  obs::Span recover_span("session.recover");
   *final_failure = false;
   for (;;) {
     const std::vector<size_t> usable = supervisor_->UsableWorkers();

@@ -6,6 +6,7 @@
 
 #include "cluster/rpc_protocol.h"
 #include "cluster/task_registry.h"
+#include "obs/trace.h"
 
 namespace mpqopt {
 
@@ -158,6 +159,9 @@ Status WorkerSupervisor::ExchangeV(size_t w, uint8_t task_kind,
                                    double* compute_seconds,
                                    bool* worker_failed) {
   MPQOPT_CHECK_LT(w, workers_.size());
+  // Covers the whole exchange: the io_mutex wait (connection contention
+  // is visible in the trace) plus the send and the blocking receive.
+  obs::Span exchange_span("rpc.exchange");
   Worker* worker = workers_[w].get();
   std::lock_guard<std::mutex> io(worker->io_mutex);
   const WorkerHealth health = HealthOf(*worker);

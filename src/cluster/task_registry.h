@@ -25,6 +25,8 @@
 #define MPQOPT_CLUSTER_TASK_REGISTRY_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "cluster/backend.h"
 #include "common/status.h"
@@ -42,6 +44,7 @@ enum class RpcTaskKind : uint8_t {
   kSleepEchoTask = 5,  ///< diagnostic: u32 ms sleep, then echo the rest
   kPingTask = 6,       ///< health probe: echoes the nonce payload
   kBatchTask = 7,      ///< envelope: N coalesced subtask requests
+  kTracedTask = 8,     ///< envelope: trace id + one subtask request
 };
 
 /// Human-readable kind name for error messages.
@@ -83,6 +86,48 @@ StatusOr<std::vector<uint8_t>> PingTaskMain(
 /// scatter stays byte-identical to an uncoalesced one.
 StatusOr<std::vector<uint8_t>> BatchTaskMain(
     const std::vector<uint8_t>& request);
+
+/// Tracing envelope: wraps one subtask request together with the query's
+/// u64 trace id, and returns the worker-side span timings ahead of the
+/// subtask's response so the master can graft them into the query's
+/// trace under the same id.
+///
+///   request   u64 trace_id, u8 inner kind, then the inner request bytes
+///   response  u32 block_len, block { u64 trace_id, u32 span count, per
+///             span: u8 name_len, name bytes, u64 start_rel_ns,
+///             u64 dur_ns }, then the inner response bytes
+///
+/// Span times are RELATIVE nanoseconds from envelope entry (worker and
+/// master clocks are unrelated; the master re-bases on receipt). A
+/// failed subtask fails the envelope with the subtask's status — no
+/// block, no partial reply — so error handling upstream is identical to
+/// the unwrapped task's. Like every registered kind it is a pure
+/// function of its request bytes: tracing observes, never perturbs.
+/// Nested traced or batch envelopes are rejected (a traced request rides
+/// INSIDE a batch slot, never the other way around).
+StatusOr<std::vector<uint8_t>> TracedTaskMain(
+    const std::vector<uint8_t>& request);
+
+/// One worker-side span timing carried back by a traced-task response.
+struct ImportedSpan {
+  std::string name;
+  uint64_t start_rel_ns = 0;
+  uint64_t dur_ns = 0;
+};
+
+/// Builds a kTracedTask request wrapping `inner_request` (see
+/// TracedTaskMain for the layout).
+std::vector<uint8_t> BuildTracedTaskRequest(
+    uint64_t trace_id, RpcTaskKind inner_kind,
+    const std::vector<uint8_t>& inner_request);
+
+/// Splits a kTracedTask response into the worker-side spans and the
+/// inner response body. `inner_body` gets exactly the bytes the wrapped
+/// task returned.
+Status ParseTracedTaskResponse(const std::vector<uint8_t>& response,
+                               uint64_t* trace_id,
+                               std::vector<ImportedSpan>* spans,
+                               std::vector<uint8_t>* inner_body);
 
 /// Maps a WorkerTask back to its registered kind, or kUnknownTask when
 /// the task wraps anything but a registered entry-point function pointer.

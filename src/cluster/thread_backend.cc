@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace mpqopt {
 
 ThreadBackend::ThreadBackend(NetworkModel model, int max_threads)
@@ -31,10 +33,15 @@ StatusOr<RoundResult> ThreadBackend::RunRound(
   std::atomic<size_t> next_task{0};
 
   const auto round_start = std::chrono::steady_clock::now();
+  // Pool threads adopt the submitter's trace context so per-task compute
+  // spans land under the round's span.
+  const obs::TraceContext submitter_ctx = obs::CurrentTraceContext();
   const auto run_tasks = [&]() {
+    obs::TraceContextScope trace_scope(submitter_ctx);
     while (true) {
       const size_t i = next_task.fetch_add(1);
       if (i >= num_tasks) return;
+      obs::Span compute_span("compute");
       const auto start = std::chrono::steady_clock::now();
       StatusOr<std::vector<uint8_t>> response = tasks[i](requests[i]);
       const auto end = std::chrono::steady_clock::now();

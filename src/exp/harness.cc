@@ -6,6 +6,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
+
+#include "obs/percentile.h"
 
 namespace mpqopt {
 
@@ -28,11 +31,9 @@ double EnvDouble(const char* name, double fallback) {
 }
 
 double Median(std::vector<double> values) {
-  if (values.empty()) return 0;
-  std::sort(values.begin(), values.end());
-  const size_t n = values.size();
-  if (n % 2 == 1) return values[n / 2];
-  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+  // The repo-wide rank estimator (obs/percentile.h) at p=50 reduces to
+  // the textbook median for both odd and even sample counts.
+  return obs::Percentile(std::move(values), 50);
 }
 
 double Mean(const std::vector<double>& values) {

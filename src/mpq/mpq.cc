@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/serialize.h"
+#include "obs/trace.h"
 #include "optimizer/pruning.h"
 #include "plan/plan_serde.h"
 
@@ -289,20 +290,30 @@ StatusOr<MpqResult> MpqOptimizer::Optimize(const Query& query) {
   // Phase 1 (master): build the per-partition requests in one batch
   // (the query is serialized once, not once per partition).
   const auto serialize_start = std::chrono::steady_clock::now();
-  const std::vector<std::vector<uint8_t>> requests =
-      BuildRequests(query, options_);
+  std::vector<std::vector<uint8_t>> requests;
+  {
+    obs::Span serialize_span("mpq.serialize");
+    requests = BuildRequests(query, options_);
+  }
   const auto serialize_end = std::chrono::steady_clock::now();
 
   // Phase 2 (workers): one task per partition, no shared state.
   std::vector<WorkerTask> tasks(m, WorkerTask(&MpqOptimizer::WorkerMain));
-  StatusOr<RoundResult> round_or = options_.backend->RunRound(tasks, requests);
+  StatusOr<RoundResult> round_or = Status::Internal("round not run");
+  {
+    obs::Span round_span("mpq.round");
+    round_or = options_.backend->RunRound(tasks, requests);
+  }
   if (!round_or.ok()) return round_or.status();
   RoundResult& round = round_or.value();
 
   // Phase 3 (master): sharded decode + final prune.
   const auto merge_start = std::chrono::steady_clock::now();
-  StatusOr<MpqResult> finalized =
-      FinalizeResponses(round.responses, options_);
+  StatusOr<MpqResult> finalized = Status::Internal("round not finalized");
+  {
+    obs::Span finalize_span("mpq.finalize");
+    finalized = FinalizeResponses(round.responses, options_);
+  }
   if (!finalized.ok()) return finalized.status();
   MpqResult result = std::move(finalized).value();
   const auto merge_end = std::chrono::steady_clock::now();

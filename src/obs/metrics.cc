@@ -1,0 +1,198 @@
+// Copyright 2026 mpqopt authors.
+
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <thread>
+
+namespace mpqopt {
+namespace obs {
+
+size_t ThisThreadShard() {
+  // Hash the thread id once; the shard stays fixed for the thread's
+  // lifetime, so repeat recorders keep hitting their own cache line.
+  thread_local const size_t shard =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) &
+      (kMetricShards - 1);
+  return shard;
+}
+
+namespace {
+
+/// f64 accumulation into an atomic<uint64_t> bit store: CAS loop, no
+/// lock. (std::atomic<double>::fetch_add is C++20 but not yet reliably
+/// lock-free everywhere this builds.)
+void AtomicAddDouble(std::atomic<uint64_t>* bits, double delta) {
+  uint64_t observed = bits->load(std::memory_order_relaxed);
+  for (;;) {
+    double current = 0;
+    std::memcpy(&current, &observed, sizeof(current));
+    const double next = current + delta;
+    uint64_t next_bits = 0;
+    std::memcpy(&next_bits, &next, sizeof(next_bits));
+    if (bits->compare_exchange_weak(observed, next_bits,
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double LoadDouble(const std::atomic<uint64_t>& bits) {
+  const uint64_t raw = bits.load(std::memory_order_relaxed);
+  double value = 0;
+  std::memcpy(&value, &raw, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  MPQOPT_CHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    MPQOPT_CHECK(bounds_[i - 1] < bounds_[i]);
+  }
+  const size_t buckets = bounds_.size() + 1;  // + overflow
+  for (Shard& shard : shards_) {
+    shard.counts = std::make_unique<std::atomic<uint64_t>[]>(buckets);
+    for (size_t b = 0; b < buckets; ++b) {
+      shard.counts[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Record(double value) {
+  const size_t bucket = static_cast<size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  Shard& shard = shards_[ThisThreadShard()];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&shard.sum_bits, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t b = 0; b < snapshot.counts.size(); ++b) {
+      snapshot.counts[b] += shard.counts[b].load(std::memory_order_relaxed);
+    }
+    snapshot.count += shard.count.load(std::memory_order_relaxed);
+    snapshot.sum += LoadDouble(shard.sum_bits);
+  }
+  return snapshot;
+}
+
+std::vector<double> Histogram::LatencyBoundariesMs() {
+  std::vector<double> bounds;
+  bounds.reserve(36);
+  double edge = 0.01;  // 10 microseconds
+  for (int i = 0; i < 36; ++i) {
+    bounds.push_back(edge);
+    edge *= 1.9;
+  }
+  return bounds;
+}
+
+double HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (b >= bounds.size()) return bounds.back();  // overflow bucket
+    const double lower = b == 0 ? 0 : bounds[b - 1];
+    const double upper = bounds[b];
+    const double within =
+        (target - static_cast<double>(before)) /
+        static_cast<double>(counts[b]);
+    return lower + (upper - lower) * std::min(std::max(within, 0.0), 1.0);
+  }
+  return bounds.back();
+}
+
+HistogramSnapshot HistogramSnapshot::Since(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot delta;
+  delta.bounds = bounds;
+  delta.counts.assign(counts.size(), 0);
+  MPQOPT_CHECK_EQ(counts.size(), earlier.counts.size());
+  for (size_t b = 0; b < counts.size(); ++b) {
+    delta.counts[b] = counts[b] - earlier.counts[b];
+  }
+  delta.count = count - earlier.count;
+  delta.sum = sum - earlier.sum;
+  return delta;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string MetricsRegistry::StatzDump() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  char line[256];
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(line, sizeof(line), "counter %s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(counter->Value()));
+    out += line;
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::snprintf(line, sizeof(line), "gauge %s %lld\n", name.c_str(),
+                  static_cast<long long>(gauge->Value()));
+    out += line;
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const HistogramSnapshot s = histogram->Snapshot();
+    std::snprintf(line, sizeof(line),
+                  "histogram %s count=%llu mean=%.3f p50=%.3f p95=%.3f "
+                  "p99=%.3f\n",
+                  name.c_str(), static_cast<unsigned long long>(s.count),
+                  s.Mean(), s.Percentile(50), s.Percentile(95),
+                  s.Percentile(99));
+    out += line;
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace mpqopt

@@ -1,0 +1,187 @@
+// Copyright 2026 mpqopt authors.
+//
+// MetricsRegistry — lock-light named counters, gauges, and fixed-boundary
+// latency histograms.
+//
+// Recording is the hot path and takes no lock: counters and histogram
+// buckets are sharded cache-line-aligned atomics (a recording thread
+// picks its shard once, via a thread-local hash), so concurrent recorders
+// on different cores do not bounce one line. The registry mutex guards
+// only name -> instrument registration and the statz dump; callers fetch
+// the instrument pointer once (instruments live as long as the registry)
+// and record through it forever after.
+//
+// Histograms have FIXED bucket boundaries chosen at registration — no
+// resizing, no per-record allocation — and report percentiles by linear
+// interpolation inside the covering bucket (HistogramSnapshot::
+// ValueAtQuantile). Snapshots are plain values and subtract
+// (snapshot.Since(earlier)), so a benchmark can report the percentiles of
+// exactly one run against the process-global registry.
+//
+// The process-global registry (MetricsRegistry::Global()) is the single
+// source for the service/admission/round instruments; `statz` text dumps
+// and the BENCH_macro.json tail-latency records both read from it.
+
+#ifndef MPQOPT_OBS_METRICS_H_
+#define MPQOPT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace mpqopt {
+namespace obs {
+
+/// Shards per instrument. Plenty for the dispatcher/lane thread counts in
+/// this repo; a power of two so the shard pick is a mask.
+constexpr size_t kMetricShards = 8;
+
+/// This thread's shard index (stable for the thread's lifetime).
+size_t ThisThreadShard();
+
+/// Monotonically increasing counter, sharded to keep concurrent
+/// increments off one cache line.
+class Counter {
+ public:
+  Counter() = default;
+  MPQOPT_DISALLOW_COPY_AND_ASSIGN(Counter);
+
+  void Add(uint64_t n = 1) {
+    shards_[ThisThreadShard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// Last-writer-wins instantaneous value (queue depth, pool size, ...).
+class Gauge {
+ public:
+  Gauge() = default;
+  MPQOPT_DISALLOW_COPY_AND_ASSIGN(Gauge);
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Plain-value copy of a histogram's state; Since() subtracts an earlier
+/// snapshot to isolate one measurement window.
+struct HistogramSnapshot {
+  /// Bucket upper bounds (shared with the histogram; bucket i covers
+  /// (bounds[i-1], bounds[i]], bucket 0 covers (-inf, bounds[0]], and a
+  /// final overflow bucket covers (bounds.back(), +inf)).
+  std::vector<double> bounds;
+  /// Per-bucket counts; size bounds.size() + 1 (the overflow bucket).
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0;
+
+  /// Value at quantile `q` in [0, 1]: linear interpolation inside the
+  /// covering bucket (the overflow bucket reports its lower bound — a
+  /// fixed-boundary histogram cannot see past its last boundary).
+  double ValueAtQuantile(double q) const;
+  double Percentile(double p) const { return ValueAtQuantile(p / 100.0); }
+  double Mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0;
+  }
+  /// This snapshot minus `earlier` (same histogram, taken before).
+  HistogramSnapshot Since(const HistogramSnapshot& earlier) const;
+};
+
+/// Fixed-boundary histogram; Record is a bucket search plus two relaxed
+/// atomics on this thread's shard — no locks, no allocation.
+class Histogram {
+ public:
+  /// `bounds` are the bucket upper bounds, strictly increasing.
+  explicit Histogram(std::vector<double> bounds);
+  MPQOPT_DISALLOW_COPY_AND_ASSIGN(Histogram);
+
+  void Record(double value);
+  HistogramSnapshot Snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// 36 exponential boundaries from 0.01 ms to ~340 s (x1.9 steps) —
+  /// wide enough for every latency this repo measures, tight enough
+  /// (<2x bucket ratio) that interpolated percentiles stay meaningful.
+  static std::vector<double> LatencyBoundariesMs();
+
+ private:
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum_bits{0};  ///< f64 sum, CAS-accumulated
+  };
+
+  std::vector<double> bounds_;
+  Shard shards_[kMetricShards];
+};
+
+/// Name -> instrument registry. Get* registers on first use and returns
+/// the same instrument forever after (histogram boundaries are fixed by
+/// the first registration). Instruments are never removed.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MPQOPT_DISALLOW_COPY_AND_ASSIGN(MetricsRegistry);
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+  /// The histogram named `name`, or null if none was registered.
+  Histogram* FindHistogram(const std::string& name) const;
+
+  /// Plain-text dump, one instrument per line, sorted by name:
+  ///   counter <name> <value>
+  ///   gauge <name> <value>
+  ///   histogram <name> count=N mean=M p50=... p95=... p99=... (ms scale
+  ///   is the instrument's own unit; the registry does not convert).
+  std::string StatzDump() const;
+
+  /// The process-global registry every built-in instrument lives in.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Canonical instrument names recorded by the serving stack (registered
+/// in the global registry on first use; all histograms use
+/// Histogram::LatencyBoundariesMs):
+///   service.latency_ms        per-query service latency (OptimizerService)
+///   admission.queue_wait_ms   Admit() slot wait (AdmissionController)
+///   backend.round_ms          measured wall time per round (AccountRound)
+inline constexpr const char* kServiceLatencyHistogram = "service.latency_ms";
+inline constexpr const char* kQueueWaitHistogram = "admission.queue_wait_ms";
+inline constexpr const char* kRoundTimeHistogram = "backend.round_ms";
+
+}  // namespace obs
+}  // namespace mpqopt
+
+#endif  // MPQOPT_OBS_METRICS_H_

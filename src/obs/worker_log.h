@@ -1,0 +1,45 @@
+// Copyright 2026 mpqopt authors.
+//
+// Structured stderr logging for worker processes. Every line is prefixed
+// with a monotonic millisecond timestamp (process-relative, matching the
+// trace clock) and the process id, so interleaved logs from a farm of
+// workers — or the $MPQOPT_WORKER_LOG_DIR per-worker files — can be
+// ordered and attributed:
+//
+//   [   1234.567 w:41872] accepted connection
+//
+// stderr is written with one fprintf per line (the prefix and message are
+// formatted into one buffer first), so lines from concurrent threads do
+// not interleave mid-line on POSIX stdio.
+
+#ifndef MPQOPT_OBS_WORKER_LOG_H_
+#define MPQOPT_OBS_WORKER_LOG_H_
+
+#include <unistd.h>
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace mpqopt {
+namespace obs {
+
+/// printf-style structured log line to stderr:
+///   [<monotonic ms> w:<pid>] <message>\n
+/// The caller's format string must not end in '\n' (added here).
+inline void WorkerLogf(const char* fmt, ...) {
+  char message[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(message, sizeof(message), fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[%11.3f w:%ld] %s\n",
+               static_cast<double>(MonotonicNanos()) / 1e6,
+               static_cast<long>(::getpid()), message);
+}
+
+}  // namespace obs
+}  // namespace mpqopt
+
+#endif  // MPQOPT_OBS_WORKER_LOG_H_

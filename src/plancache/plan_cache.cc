@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace mpqopt {
 namespace {
 
@@ -54,6 +56,7 @@ PlanCache::Index::iterator PlanCache::EraseLocked(Shard* shard,
 
 std::shared_ptr<const CachedPlan> PlanCache::Lookup(const PlanCacheKey& key,
                                                     bool count_miss) {
+  obs::Span lookup_span("cache.lookup");
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   Index::iterator it = shard.index.find(key);
@@ -84,6 +87,7 @@ std::shared_ptr<const CachedPlan> PlanCache::Insert(
     std::vector<std::pair<std::string, double>> table_statistics,
     const PlanArena& arena, const std::vector<PlanId>& best,
     uint64_t computed_at_epoch) {
+  obs::Span insert_span("cache.insert");
   // Re-materialize only the winning subtrees into a compact private
   // arena: the source arena holds every plan all m workers returned.
   auto plan = std::make_shared<CachedPlan>();

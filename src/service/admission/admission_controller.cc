@@ -2,7 +2,11 @@
 
 #include "service/admission/admission_controller.h"
 
+#include <chrono>
 #include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mpqopt {
 namespace {
@@ -36,12 +40,30 @@ AdmissionController::AdmissionController(AdmissionOptions options)
 
 StatusOr<AdmissionController::Ticket> AdmissionController::Admit(
     const RequestContext& ctx) {
-  Status quota = quota_.TryAcquire(ctx.tenant);
-  if (!quota.ok()) {
-    rejected_quota_.fetch_add(1, std::memory_order_relaxed);
-    return quota;
+  {
+    obs::Span quota_span("admission.quota");
+    Status quota = quota_.TryAcquire(ctx.tenant);
+    if (!quota.ok()) {
+      rejected_quota_.fetch_add(1, std::memory_order_relaxed);
+      return quota;
+    }
   }
-  Status slot = queue_.Acquire(ctx.priority);
+  // Queue wait is where admission latency actually accrues; the
+  // histogram is recorded whether or not the slot was granted (a shed or
+  // timed-out request waited, too).
+  static obs::Histogram* const queue_wait_ms =
+      obs::MetricsRegistry::Global().GetHistogram(
+          obs::kQueueWaitHistogram, obs::Histogram::LatencyBoundariesMs());
+  const auto wait_start = std::chrono::steady_clock::now();
+  Status slot = Status::OK();
+  {
+    obs::Span queue_span("admission.queue_wait");
+    slot = queue_.Acquire(ctx.priority);
+  }
+  queue_wait_ms->Record(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wait_start)
+          .count());
   if (!slot.ok()) return slot;
   return Ticket(&queue_);
 }

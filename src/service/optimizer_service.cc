@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "plancache/fingerprint.h"
 
 namespace mpqopt {
@@ -78,7 +79,14 @@ StatusOr<MpqResult> OptimizerService::OptimizeThroughCache(
   const std::string flight_key(key.bytes.begin(), key.bytes.end());
   for (;;) {
     std::shared_ptr<const CachedPlan> handed;
-    if (flights_.BeginOrWait(flight_key, &handed)) {
+    bool leader;
+    {
+      // Waiters block here until the leader's flight lands; the span
+      // makes queueing behind a concurrent identical query visible.
+      obs::Span flight_span("cache.flight_wait");
+      leader = flights_.BeginOrWait(flight_key, &handed);
+    }
+    if (leader) {
       // Double-check under leadership: a previous leader may have
       // populated the cache between our probe and winning the flight,
       // in which case re-optimizing would break exactly-once. The miss
@@ -125,6 +133,25 @@ StatusOr<MpqResult> OptimizerService::Optimize(const Query& query,
 StatusOr<MpqResult> OptimizerService::Optimize(const Query& query,
                                                const MpqOptions& options,
                                                const RequestContext& ctx) {
+  obs::TraceCollector* const collector = options_.trace_collector;
+  if (collector == nullptr) return OptimizeTraced(query, options, ctx);
+  // Trace lifecycle wraps the whole call: the root span is the service
+  // latency, and everything below — admission wait included — nests
+  // under it on this thread's trace context.
+  std::unique_ptr<obs::QueryTrace> trace = collector->StartTrace(
+      "q" + std::to_string(query.num_tables()) + "t/" + ctx.tenant);
+  StatusOr<MpqResult> result = Status::Internal("query not executed");
+  {
+    obs::TraceContextScope trace_scope(trace.get(), obs::kNoSpan);
+    obs::Span root_span("service.optimize");
+    result = OptimizeTraced(query, options, ctx);
+  }
+  collector->Collect(std::move(trace));
+  return result;
+}
+
+StatusOr<MpqResult> OptimizerService::OptimizeTraced(
+    const Query& query, const MpqOptions& options, const RequestContext& ctx) {
   // Admission is the outermost gate: a rejected request costs the
   // service nothing downstream — no fingerprinting, no cache probe, no
   // backend round. The ticket (when admission is on) holds a running
@@ -151,6 +178,13 @@ StatusOr<MpqResult> OptimizerService::Optimize(const Query& query,
                         : RunOptimizer(query, options);
   const auto end = std::chrono::steady_clock::now();
   const double latency = std::chrono::duration<double>(end - start).count();
+  // The one authoritative service-latency distribution: statz, the CLI
+  // report, and the macrobench tail records all read this histogram.
+  static obs::Histogram* const latency_ms =
+      obs::MetricsRegistry::Global().GetHistogram(
+          obs::kServiceLatencyHistogram,
+          obs::Histogram::LatencyBoundariesMs());
+  latency_ms->Record(latency * 1e3);
 
   std::lock_guard<std::mutex> lock(stats_mutex_);
   if (result.ok()) {

@@ -32,6 +32,7 @@
 
 #include "cluster/backend.h"
 #include "mpq/mpq.h"
+#include "obs/trace.h"
 #include "plancache/plan_cache.h"
 #include "service/admission/admission_controller.h"
 
@@ -81,6 +82,13 @@ struct ServiceOptions {
   /// Scatter coalescing on the rpc backend (BackendOptions::
   /// coalesce_scatter; no effect on in-process kinds). CLI: --coalesce.
   bool coalesce_scatter = false;
+  /// Query-lifecycle tracing (CLI: --trace-out, --slow-query-ms). Null
+  /// (default) disables tracing entirely: every Span in the serving
+  /// stack stays inert and no per-query state is allocated. Non-null,
+  /// each Optimize() call records a span tree — admission, cache probe,
+  /// round phases, worker-side timings over rpc — into the collector.
+  /// Not owned; must outlive the service.
+  obs::TraceCollector* trace_collector = nullptr;
 };
 
 /// Aggregate counters since service construction.
@@ -208,6 +216,11 @@ class OptimizerService {
   AdmissionController* admission() const { return admission_.get(); }
 
  private:
+  /// Optimize() body; runs inside the query's trace context (when
+  /// tracing is enabled) so every span below lands in the trace.
+  StatusOr<MpqResult> OptimizeTraced(const Query& query,
+                                     const MpqOptions& options,
+                                     const RequestContext& ctx);
   /// One full (uncached) optimization on the shared backend.
   StatusOr<MpqResult> RunOptimizer(const Query& query,
                                    const MpqOptions& options);

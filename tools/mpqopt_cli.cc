@@ -28,6 +28,9 @@
 
 #include "catalog/generator.h"
 #include "mpq/mpq.h"
+#include "obs/metrics.h"
+#include "obs/percentile.h"
+#include "obs/trace.h"
 #include "optimizer/pqo.h"
 #include "plan/plan.h"
 #include "service/optimizer_service.h"
@@ -61,6 +64,9 @@ struct CliOptions {
   Priority priority = Priority::kInteractive;
   int queue_depth = 64;
   bool coalesce = false;
+  std::string trace_out;
+  double slow_query_ms = 0;
+  bool statz = false;
   /// True once any serving-only flag (--plan-cache*, --unique-queries)
   /// was given, so Main can reject them outside serving mode instead of
   /// silently ignoring them.
@@ -124,6 +130,14 @@ const FlagDoc kFlagDocs[] = {
     {"--coalesce", nullptr,
      "rpc: coalesce per-partition scatter requests into one batch frame "
      "per worker"},
+    {"--trace-out", "PATH",
+     "serving mode: write per-query span traces as Chrome trace-event "
+     "JSON (load in chrome://tracing or Perfetto)"},
+    {"--slow-query-ms", "MS",
+     "serving mode: print a span breakdown to stderr for any query "
+     "slower than MS milliseconds (0 = off)"},
+    {"--statz", nullptr,
+     "dump the metrics registry (counters/gauges/histograms) on exit"},
     {"--processes", nullptr, "alias for --backend=process"},
     {"--help", nullptr, "print this message"},
 };
@@ -293,6 +307,22 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       }
     } else if (ParseFlag(argv[i], "--coalesce", &v)) {
       opts->coalesce = true;
+    } else if (ParseFlag(argv[i], "--trace-out", &v)) {
+      opts->trace_out = v;
+      opts->serving_flags_used = true;
+      if (opts->trace_out.empty()) {
+        std::fprintf(stderr, "--trace-out needs a path\n");
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--slow-query-ms", &v)) {
+      opts->slow_query_ms = std::atof(v.c_str());
+      opts->serving_flags_used = true;
+      if (opts->slow_query_ms < 0) {
+        std::fprintf(stderr, "--slow-query-ms must be >= 0\n");
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--statz", &v)) {
+      opts->statz = true;
     } else if (ParseFlag(argv[i], "--processes", &v)) {
       // Back-compat alias for --backend=process.
       opts->backend = BackendKind::kProcess;
@@ -403,6 +433,12 @@ int RunService(QueryGenerator* generator, const CliOptions& cli) {
   service_opts.admission.tenant_rate = cli.tenant_rate;
   service_opts.admission.tenant_burst = cli.tenant_burst;
   service_opts.admission.queue_depth = cli.queue_depth;
+  obs::TraceCollectorOptions trace_opts;
+  trace_opts.chrome_out_path = cli.trace_out;
+  trace_opts.slow_query_ms = cli.slow_query_ms;
+  obs::TraceCollector collector(trace_opts);
+  const bool tracing = !cli.trace_out.empty() || cli.slow_query_ms > 0;
+  if (tracing) service_opts.trace_collector = &collector;
   OptimizerService service(service_opts);
   RequestContext ctx;
   ctx.priority = cli.priority;
@@ -425,6 +461,17 @@ int RunService(QueryGenerator* generator, const CliOptions& cli) {
   std::printf("batch wall         %.2f ms\n", report.wall_seconds * 1e3);
   std::printf("throughput         %.1f queries/s\n",
               report.queries_per_second);
+  {
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(report.latency_seconds.size());
+    for (const double s : report.latency_seconds) {
+      latencies_ms.push_back(s * 1e3);
+    }
+    std::printf("latency            p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+                obs::Percentile(latencies_ms, 50),
+                obs::Percentile(latencies_ms, 95),
+                obs::Percentile(latencies_ms, 99));
+  }
   const ServiceStats stats = service.stats();
   std::printf("completed/failed   %llu / %llu\n",
               static_cast<unsigned long long>(stats.queries_completed),
@@ -485,6 +532,16 @@ int RunService(QueryGenerator* generator, const CliOptions& cli) {
                   w.last_error.empty() ? "" : "; last: ",
                   w.last_error.c_str());
     }
+  }
+  if (!cli.trace_out.empty()) {
+    const Status written = collector.WriteChromeTrace();
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace              %zu query traces -> %s "
+                "(chrome://tracing)\n",
+                collector.collected(), cli.trace_out.c_str());
   }
   return stats.queries_failed == 0 ? 0 : 1;
 }
@@ -624,15 +681,29 @@ int Main(int argc, char** argv) {
                  "(--concurrent-queries>=1, not --variant=pqo)\n");
     return 2;
   }
+  // --statz dumps the process-global metrics registry on the way out,
+  // whatever mode ran (round-time histograms fill in every mode; the
+  // service/admission ones only in serving mode).
+  int rc;
   if (serving_mode) {
-    return RunService(&generator, cli);
+    rc = RunService(&generator, cli);
+  } else {
+    const Query query = generator.Generate(cli.tables);
+    std::printf("%s", query.ToString().c_str());
+    std::printf("plan space         %s\n", PlanSpaceName(cli.space));
+    if (cli.variant == "pqo") {
+      rc = RunPqo(query, cli);
+    } else if (cli.variant == "sma") {
+      rc = RunSma(query, cli);
+    } else {
+      rc = RunMpq(query, cli);
+    }
   }
-  const Query query = generator.Generate(cli.tables);
-  std::printf("%s", query.ToString().c_str());
-  std::printf("plan space         %s\n", PlanSpaceName(cli.space));
-  if (cli.variant == "pqo") return RunPqo(query, cli);
-  if (cli.variant == "sma") return RunSma(query, cli);
-  return RunMpq(query, cli);
+  if (cli.statz) {
+    std::printf("--- statz ---\n%s",
+                obs::MetricsRegistry::Global().StatzDump().c_str());
+  }
+  return rc;
 }
 
 }  // namespace

@@ -42,6 +42,7 @@
 
 #include "cluster/rpc_backend.h"
 #include "net/frame_transport.h"
+#include "obs/worker_log.h"
 
 namespace mpqopt {
 namespace {
@@ -191,9 +192,11 @@ int Main(int argc, char** argv) {
   InstallShutdownHandlers();
   std::printf("LISTENING %d\n", listener.value().port());
   std::fflush(stdout);
-  std::fprintf(stderr, "mpqopt_worker: pid %d serving on port %d%s\n",
-               static_cast<int>(::getpid()), listener.value().port(),
-               opts.chaos_kill_after >= 0 ? " (chaos kill armed)" : "");
+  // Structured stderr from here on: every line carries a monotonic-ms
+  // timestamp and the worker pid, so interleaved farm logs stay
+  // attributable (obs/worker_log.h).
+  obs::WorkerLogf("serving on port %d%s", listener.value().port(),
+                  opts.chaos_kill_after >= 0 ? " (chaos kill armed)" : "");
 
   std::atomic<int64_t> chaos_remaining{opts.chaos_kill_after};
   RpcServeOptions serve;
@@ -205,10 +208,10 @@ int Main(int argc, char** argv) {
   s = ServeRpcWorker(&listener.value(), serve);
   if (s.ok()) {
     // Graceful SIGTERM/SIGINT drain completed.
-    std::fprintf(stderr, "mpqopt_worker: drained, shutting down cleanly\n");
+    obs::WorkerLogf("drained, shutting down cleanly");
     return 0;
   }
-  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  obs::WorkerLogf("error: %s", s.ToString().c_str());
   return 1;
 }
 
