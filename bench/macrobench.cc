@@ -69,6 +69,7 @@
 
 #include "bench/bench_common.h"
 #include "obs/metrics.h"
+#include "obs/telemetry_server.h"
 #include "obs/trace.h"
 #include "plan/plan_serde.h"
 #include "plancache/fingerprint.h"
@@ -272,6 +273,9 @@ int main(int argc, char** argv) {
   }
   std::string backends_csv = "thread,process,async,rpc";
   std::string trace_out;
+  std::string scrape_out;
+  std::string flight_out;
+  int telemetry_port = -1;  // -1 = no telemetry server
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -281,14 +285,31 @@ int main(int argc, char** argv) {
       backends_csv = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--telemetry-port=", 17) == 0) {
+      telemetry_port = std::atoi(argv[i] + 17);
+      if (telemetry_port < 0 || telemetry_port > 65535) {
+        std::fprintf(stderr, "invalid --telemetry-port value: %s\n",
+                     argv[i] + 17);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--scrape-out=", 13) == 0) {
+      scrape_out = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--flight-out=", 13) == 0) {
+      flight_out = argv[i] + 13;
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--smoke] [--json=PATH] "
                    "[--workloads=DIR] [--backends=thread,process,async,rpc] "
-                   "[--trace-out=PATH]\n",
+                   "[--trace-out=PATH] [--telemetry-port=PORT] "
+                   "[--scrape-out=PATH] [--flight-out=PATH]\n",
                    argv[i], argv[0]);
       return 2;
     }
+  }
+  if ((!scrape_out.empty() || !flight_out.empty()) && telemetry_port < 0) {
+    std::fprintf(stderr,
+                 "--scrape-out/--flight-out require --telemetry-port\n");
+    return 2;
   }
   obs::TraceCollectorOptions trace_opts;
   trace_opts.chrome_out_path = trace_out;
@@ -369,6 +390,32 @@ int main(int argc, char** argv) {
   if (roster.empty()) {
     std::fprintf(stderr, "no usable backends\n");
     return 2;
+  }
+
+  // ---- Telemetry plane (optional). ------------------------------------
+  // Served live for the whole run so an external scraper can watch; the
+  // self-scrape at the end goes through the same real HTTP socket. Wired
+  // to the rpc backend when present so /metrics carries worker-labeled
+  // series from every farm worker and /healthz reflects the farm.
+  std::unique_ptr<obs::TelemetryServer> telemetry;
+  if (telemetry_port >= 0) {
+    obs::TelemetryOptions topts;
+    topts.port = telemetry_port;
+    topts.worker_poll_ttl_ms = 0;  // the gate wants fresh worker series
+    for (const BackendEntry& entry : roster) {
+      if (entry.kind == BackendKind::kRpc) topts.backend = entry.backend;
+    }
+    if (topts.backend == nullptr) topts.backend = roster.front().backend;
+    StatusOr<std::unique_ptr<obs::TelemetryServer>> server =
+        obs::TelemetryServer::Start(std::move(topts));
+    if (!server.ok()) {
+      std::fprintf(stderr, "telemetry server failed: %s\n",
+                   server.status().ToString().c_str());
+      return 2;
+    }
+    telemetry = std::move(server).value();
+    std::printf("telemetry          http://127.0.0.1:%d/metrics\n\n",
+                telemetry->port());
   }
 
   // ---- Run: every workload on every backend. --------------------------
@@ -513,6 +560,47 @@ int main(int argc, char** argv) {
              plans_identical ? 1 : 0, "bool");
   }
   if (!json_path.empty() && !json.WriteTo(json_path)) return 1;
+
+  // ---- Live telemetry self-scrape. ------------------------------------
+  // Over a real TCP socket while the worker farm is still alive — exactly
+  // the bytes an external Prometheus scraper would have received.
+  if (telemetry != nullptr) {
+    const auto save = [](const std::string& path,
+                         const std::string& body) -> bool {
+      FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+      }
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fclose(f);
+      return true;
+    };
+    const std::string endpoint =
+        "127.0.0.1:" + std::to_string(telemetry->port());
+    StatusOr<obs::HttpResponse> metrics = obs::HttpGet(endpoint, "/metrics");
+    StatusOr<obs::HttpResponse> health = obs::HttpGet(endpoint, "/healthz");
+    StatusOr<obs::HttpResponse> flight =
+        obs::HttpGet(endpoint, "/debug/flightrecorder");
+    if (!metrics.ok() || metrics.value().status != 200 || !health.ok() ||
+        health.value().status != 200 || !flight.ok() ||
+        flight.value().status != 200) {
+      std::fprintf(stderr, "telemetry self-scrape failed\n");
+      return 1;
+    }
+    std::printf("telemetry scrape   %zu bytes of /metrics, /healthz %s\n",
+                metrics.value().body.size(),
+                health.value().body.find("\"state\":\"READY\"") !=
+                        std::string::npos
+                    ? "READY"
+                    : "NOT READY");
+    if (!scrape_out.empty() && !save(scrape_out, metrics.value().body)) {
+      return 1;
+    }
+    if (!flight_out.empty() && !save(flight_out, flight.value().body)) {
+      return 1;
+    }
+  }
 
   if (collector_ptr != nullptr) {
     const Status written = collector.WriteChromeTrace();

@@ -6,6 +6,7 @@
 #include "cluster/process_backend.h"
 #include "cluster/rpc_backend.h"
 #include "cluster/thread_backend.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace mpqopt {
@@ -33,6 +34,9 @@ void AccountRound(const NetworkModel& model,
       obs::MetricsRegistry::Global().GetHistogram(
           obs::kRoundTimeHistogram, obs::Histogram::LatencyBoundariesMs());
   round_ms->Record(result->wall_seconds * 1e3);
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventKind::kRoundFinish, "%zu tasks, %.3f ms wall",
+      num_tasks, result->wall_seconds * 1e3);
 }
 
 void ExecutionBackend::FinalizeRound(
@@ -50,6 +54,10 @@ BackendHealth ExecutionBackend::health() const {
   BackendHealth health;
   FillSessionCounters(&health);
   return health;
+}
+
+std::vector<obs::WorkerStatsSample> ExecutionBackend::PollWorkerStats() {
+  return {};
 }
 
 void ExecutionBackend::FillSessionCounters(BackendHealth* health) const {

@@ -47,6 +47,7 @@
 
 #include "common/status.h"
 #include "net/network_model.h"
+#include "obs/metrics_export.h"
 
 namespace mpqopt {
 
@@ -199,6 +200,13 @@ class ExecutionBackend {
   /// counters, plus session activity. In-process backends have nothing
   /// to supervise and report only the session counters.
   virtual BackendHealth health() const;
+
+  /// Fleet stats poll for the telemetry plane: one MetricsRegistry
+  /// sample per currently-HEALTHY remote worker, fetched through the
+  /// kStatsPollTask envelope (RpcBackend). In-process backends share the
+  /// master's registry — their stats are already in the master sample —
+  /// and report the default empty list.
+  virtual std::vector<obs::WorkerStatsSample> PollWorkerStats();
 
   const NetworkModel& network() const { return model_; }
 

@@ -15,6 +15,9 @@
 #include "cluster/session/session_wire.h"
 #include "cluster/task_registry.h"
 #include "common/serialize.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/metrics_export.h"
 #include "obs/trace.h"
 #include "obs/worker_log.h"
 
@@ -285,6 +288,13 @@ StatusOr<RoundResult> RpcBackend::RunRound(
   size_t passes = 0;
   bool recovered = false;
 
+  obs::FlightRecorder::Global().Record(obs::FlightEventKind::kRoundStart,
+                                       "rpc round: %zu tasks over %zu workers",
+                                       num_tasks, num_workers);
+  // The watchdog flags this round into the recorder (and
+  // obs.stalls_total) if it is still in flight past the configured
+  // threshold — a no-op when no threshold is armed.
+  obs::StallWatchdog::Guard stall_guard("rpc.round");
   const auto round_start = std::chrono::steady_clock::now();
   while (!pending.empty()) {
     const std::vector<size_t> usable = supervisor_->UsableWorkers();
@@ -436,6 +446,31 @@ StatusOr<RoundResult> RpcBackend::RunRound(
   return result;
 }
 
+std::vector<obs::WorkerStatsSample> RpcBackend::PollWorkerStats() {
+  // Poll only currently-HEALTHY workers: Exchange refuses non-HEALTHY
+  // targets anyway, and a scrape must not shortcut the supervisor's
+  // redial backoff. A poll failure marks the worker SUSPECT exactly like
+  // a round exchange would — scrapes double as passive health probes.
+  std::vector<obs::WorkerStatsSample> samples;
+  const BackendHealth snapshot = supervisor_->Snapshot();
+  const std::vector<uint8_t> empty_request;
+  for (size_t w = 0; w < snapshot.workers.size(); ++w) {
+    if (snapshot.workers[w].health != WorkerHealth::kHealthy) continue;
+    std::vector<uint8_t> response;
+    double seconds = 0;
+    bool worker_failed = false;
+    const Status s = supervisor_->Exchange(
+        w, static_cast<uint8_t>(RpcTaskKind::kStatsPollTask), empty_request,
+        &response, &seconds, &worker_failed);
+    if (!s.ok()) continue;
+    obs::WorkerStatsSample sample;
+    sample.endpoint = snapshot.workers[w].endpoint;
+    if (!obs::ParseRegistrySample(response, &sample.sample).ok()) continue;
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
 StatusOr<std::unique_ptr<SessionHandle>> RpcBackend::OpenSession(
     StatefulTaskKind kind,
     const std::vector<std::vector<uint8_t>>& open_requests) {
@@ -459,6 +494,16 @@ std::vector<std::string> SplitEndpoints(const std::string& comma_separated) {
 }
 
 void ServeRpcConnection(Socket socket, RpcServeOptions serve) {
+  // Worker-side serve instruments, in this process's global registry —
+  // the sample a kStatsPollTask scrape ships home. Fetched once.
+  static obs::Counter* const requests_total =
+      obs::MetricsRegistry::Global().GetCounter(obs::kWorkerRequestsCounter);
+  static obs::Counter* const task_errors =
+      obs::MetricsRegistry::Global().GetCounter(
+          obs::kWorkerTaskErrorsCounter);
+  static obs::Histogram* const serve_ms =
+      obs::MetricsRegistry::Global().GetHistogram(
+          obs::kWorkerServeHistogram, obs::Histogram::LatencyBoundariesMs());
   // Session replicas opened over this connection; dies with it, so a
   // master crash or reconnect frees every replica it owned.
   SessionStore sessions(serve.sessions);
@@ -496,6 +541,7 @@ void ServeRpcConnection(Socket socket, RpcServeOptions serve) {
           "--chaos-kill-after budget exhausted, crashing without reply");
       std::_Exit(42);
     }
+    requests_total->Add();
     if (request.kind >= kSessionFrameKindBase) {
       // Session-control frame: open/step/close a stateful replica.
       SessionReply session_reply =
@@ -551,6 +597,11 @@ void ServeRpcConnection(Socket socket, RpcServeOptions serve) {
     }
     const auto end = std::chrono::steady_clock::now();
     const double seconds = std::chrono::duration<double>(end - start).count();
+    serve_ms->Record(seconds * 1e3);
+    if (reply_kind != RpcReplyKind::kOk) task_errors->Add();
+    obs::WorkerLogDebugf("served %s task: %zu -> %zu bytes in %.3f ms",
+                         RpcTaskKindName(static_cast<RpcTaskKind>(request.kind)),
+                         request.payload.size(), body.size(), seconds * 1e3);
     if (!SendRpcReply(socket.fd(), reply_kind, seconds,
                       {body.data(), body.size()})
              .ok()) {

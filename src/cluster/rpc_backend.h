@@ -93,6 +93,12 @@ class RpcBackend : public ExecutionBackend {
   /// Per-worker health plus reconnect/re-scatter counters.
   BackendHealth health() const override;
 
+  /// Polls every HEALTHY worker's metrics registry over a kStatsPollTask
+  /// exchange. A failed poll marks that worker SUSPECT exactly like a
+  /// failed round exchange (a scrape doubles as a passive health probe)
+  /// and the worker is skipped, never the whole poll.
+  std::vector<obs::WorkerStatsSample> PollWorkerStats() override;
+
   /// Number of supervised worker endpoints (the maximal scatter width).
   size_t num_connections() const { return supervisor_->num_workers(); }
 

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "cluster/session/session_wire.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace mpqopt {
@@ -186,6 +187,10 @@ Status RpcSessionHandle::StepNode(Node* node,
         continue;  // this candidate worker failed; try another
       }
       counters_->recovered.fetch_add(1, std::memory_order_relaxed);
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventKind::kSessionRecovery,
+          "node %llu recovered onto worker %zu (attempt %zu)",
+          static_cast<unsigned long long>(node->id), node->worker, attempt);
     }
     bool worker_failed = false;
     // Gather the id header and the request bytes into one frame — the

@@ -6,6 +6,7 @@
 
 #include "cluster/rpc_protocol.h"
 #include "cluster/task_registry.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace mpqopt {
@@ -98,10 +99,17 @@ void WorkerSupervisor::MarkFailed(Worker* worker, const Status& error) {
   if (worker->health == WorkerHealth::kDead) return;
   if (options_.max_redials <= 0) {
     // No redial budget: first connection failure is final.
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventKind::kWorkerState, "%s %s -> dead: %s",
+        worker->endpoint.c_str(), WorkerHealthName(worker->health),
+        error.ToString().c_str());
     worker->health = WorkerHealth::kDead;
     return;
   }
   if (worker->health == WorkerHealth::kHealthy) {
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventKind::kWorkerState, "%s healthy -> suspect: %s",
+        worker->endpoint.c_str(), error.ToString().c_str());
     worker->health = WorkerHealth::kSuspect;
     worker->episode_redial_failures = 0;
     worker->next_redial_at = Clock::now();  // first redial: immediately
@@ -123,6 +131,9 @@ bool WorkerSupervisor::TryRedial(Worker* worker) {
   if (socket.ok()) {
     worker->socket = std::move(socket).value();
     std::lock_guard<std::mutex> state(worker->state_mutex);
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventKind::kWorkerState, "%s %s -> healthy (redial ok)",
+        worker->endpoint.c_str(), WorkerHealthName(worker->health));
     worker->health = WorkerHealth::kHealthy;
     worker->episode_redial_failures = 0;
     ++worker->reconnects;
@@ -134,6 +145,10 @@ bool WorkerSupervisor::TryRedial(Worker* worker) {
   ++worker->episode_redial_failures;
   worker->last_error = socket.status().ToString();
   if (worker->episode_redial_failures >= options_.max_redials) {
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventKind::kWorkerState,
+        "%s suspect -> dead (redial budget exhausted): %s",
+        worker->endpoint.c_str(), socket.status().ToString().c_str());
     worker->health = WorkerHealth::kDead;
   } else {
     worker->next_redial_at =

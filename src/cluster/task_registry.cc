@@ -12,6 +12,8 @@
 #include "common/serialize.h"
 #include "mpq/heterogeneous.h"
 #include "mpq/mpq.h"
+#include "obs/metrics.h"
+#include "obs/metrics_export.h"
 
 namespace mpqopt {
 namespace {
@@ -43,6 +45,8 @@ const char* RpcTaskKindName(RpcTaskKind kind) {
       return "batch";
     case RpcTaskKind::kTracedTask:
       return "traced";
+    case RpcTaskKind::kStatsPollTask:
+      return "stats-poll";
   }
   return "unknown";
 }
@@ -71,6 +75,17 @@ StatusOr<std::vector<uint8_t>> SleepEchoTaskMain(
 StatusOr<std::vector<uint8_t>> PingTaskMain(
     const std::vector<uint8_t>& request) {
   return request;
+}
+
+StatusOr<std::vector<uint8_t>> StatsPollTaskMain(
+    const std::vector<uint8_t>& request) {
+  if (!request.empty()) {
+    return Status::InvalidArgument("stats poll request carries no payload");
+  }
+  ByteWriter writer;
+  obs::SerializeRegistrySample(obs::MetricsRegistry::Global().Sample(),
+                               &writer);
+  return writer.Release();
 }
 
 StatusOr<std::vector<uint8_t>> BatchTaskMain(
@@ -258,6 +273,7 @@ RpcTaskKind ResolveTaskKind(const WorkerTask& task) {
   if (*fn == &PingTaskMain) return RpcTaskKind::kPingTask;
   if (*fn == &BatchTaskMain) return RpcTaskKind::kBatchTask;
   if (*fn == &TracedTaskMain) return RpcTaskKind::kTracedTask;
+  if (*fn == &StatsPollTaskMain) return RpcTaskKind::kStatsPollTask;
   return RpcTaskKind::kUnknownTask;
 }
 
@@ -281,6 +297,8 @@ WorkerTask TaskForKind(RpcTaskKind kind) {
       return WorkerTask(&BatchTaskMain);
     case RpcTaskKind::kTracedTask:
       return WorkerTask(&TracedTaskMain);
+    case RpcTaskKind::kStatsPollTask:
+      return WorkerTask(&StatsPollTaskMain);
   }
   return nullptr;
 }

@@ -45,6 +45,7 @@ enum class RpcTaskKind : uint8_t {
   kPingTask = 6,       ///< health probe: echoes the nonce payload
   kBatchTask = 7,      ///< envelope: N coalesced subtask requests
   kTracedTask = 8,     ///< envelope: trace id + one subtask request
+  kStatsPollTask = 9,  ///< telemetry: worker's MetricsRegistry sample
 };
 
 /// Human-readable kind name for error messages.
@@ -106,6 +107,15 @@ StatusOr<std::vector<uint8_t>> BatchTaskMain(
 /// Nested traced or batch envelopes are rejected (a traced request rides
 /// INSIDE a batch slot, never the other way around).
 StatusOr<std::vector<uint8_t>> TracedTaskMain(
+    const std::vector<uint8_t>& request);
+
+/// Telemetry poll entry point: ignores the (empty) request and returns
+/// this process's global MetricsRegistry serialized with
+/// obs::SerializeRegistrySample. The master's telemetry server sends one
+/// per worker on a /metrics scrape (TTL-cached) and re-exports the
+/// series under a worker="<addr>" label. Reading the registry is
+/// relaxed-atomic sums — polling observes, never perturbs.
+StatusOr<std::vector<uint8_t>> StatsPollTaskMain(
     const std::vector<uint8_t>& request);
 
 /// One worker-side span timing carried back by a traced-task response.

@@ -7,15 +7,36 @@
 #ifndef MPQOPT_COMMON_MACROS_H_
 #define MPQOPT_COMMON_MACROS_H_
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace mpqopt {
 namespace internal {
 
+/// Optional last-words hook run after a failed CHECK prints but before
+/// the abort — the flight recorder installs its dump here so a fatal
+/// error ships the recent-event ring with the crash. The slot is cleared
+/// before the hook runs, so a CHECK failing inside the hook itself
+/// cannot recurse.
+using FatalHook = void (*)();
+
+inline std::atomic<FatalHook>& FatalHookSlot() {
+  static std::atomic<FatalHook> slot{nullptr};
+  return slot;
+}
+
+inline void SetFatalHook(FatalHook hook) {
+  FatalHookSlot().store(hook, std::memory_order_relaxed);
+}
+
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* expr) {
   std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  if (FatalHook hook =
+          FatalHookSlot().exchange(nullptr, std::memory_order_relaxed)) {
+    hook();
+  }
   std::abort();
 }
 

@@ -1,0 +1,214 @@
+// Copyright 2026 mpqopt authors.
+
+#include "obs/flight_recorder.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mpqopt {
+namespace obs {
+namespace {
+
+/// Set from the SIGUSR1 handler (async-signal safe: one relaxed store),
+/// drained by the housekeeping thread.
+std::atomic<bool> g_dump_requested{false};
+
+void SignalDumpHandler(int) {
+  g_dump_requested.store(true, std::memory_order_relaxed);
+}
+
+void DumpGlobalRecorderToStderr(const char* why) {
+  const std::string dump = FlightRecorder::Global().DumpText();
+  std::fprintf(stderr, "--- flight recorder (%s) ---\n%s", why, dump.c_str());
+  std::fflush(stderr);
+}
+
+void FatalDumpHook() { DumpGlobalRecorderToStderr("fatal"); }
+
+}  // namespace
+
+const char* FlightEventKindName(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kAdmit:
+      return "admit";
+    case FlightEventKind::kReject:
+      return "reject";
+    case FlightEventKind::kRoundStart:
+      return "round-start";
+    case FlightEventKind::kRoundFinish:
+      return "round-finish";
+    case FlightEventKind::kWorkerState:
+      return "worker-state";
+    case FlightEventKind::kSlowQuery:
+      return "slow-query";
+    case FlightEventKind::kSessionRecovery:
+      return "session-recovery";
+    case FlightEventKind::kStall:
+      return "stall";
+    case FlightEventKind::kFatal:
+      return "fatal";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(size_t capacity) {
+  MPQOPT_CHECK(capacity > 0);
+  ring_.resize(capacity);
+}
+
+void FlightRecorder::Record(FlightEventKind kind, const char* fmt, ...) {
+  // Format outside the lock; the critical section is one slot copy.
+  FlightEvent event;
+  event.t_ns = MonotonicNanos();
+  event.kind = kind;
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(event.detail, sizeof(event.detail), fmt, args);
+  va_end(args);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  event.seq = next_seq_++;
+  ring_[event.seq % ring_.size()] = event;
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FlightEvent> events;
+  const uint64_t retained =
+      next_seq_ < ring_.size() ? next_seq_ : ring_.size();
+  events.reserve(retained);
+  for (uint64_t seq = next_seq_ - retained; seq < next_seq_; ++seq) {
+    events.push_back(ring_[seq % ring_.size()]);
+  }
+  return events;
+}
+
+std::string FlightRecorder::DumpText() const {
+  const std::vector<FlightEvent> events = Snapshot();
+  const uint64_t total = total_recorded();
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "flightrecorder %llu events recorded, %zu retained\n",
+                static_cast<unsigned long long>(total), events.size());
+  out += line;
+  for (const FlightEvent& event : events) {
+    std::snprintf(line, sizeof(line), "[%14.3f] %8llu %-16s %s\n",
+                  static_cast<double>(event.t_ns) / 1e6,
+                  static_cast<unsigned long long>(event.seq),
+                  FlightEventKindName(event.kind), event.detail);
+    out += line;
+  }
+  return out;
+}
+
+uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  // Leaked on purpose (like MetricsRegistry::Global): call sites append
+  // from threads that may outlive static destruction.
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void InstallFlightRecorderSignalDump() {
+  struct sigaction action = {};
+  action.sa_handler = &SignalDumpHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  sigaction(SIGUSR1, &action, nullptr);
+  // The handler only raises a flag; the watchdog's housekeeping thread
+  // does the actual (allocating, lock-taking) dump.
+  StallWatchdog::Global().EnsureThread();
+}
+
+void InstallFlightRecorderFatalDump() {
+  internal::SetFatalHook(&FatalDumpHook);
+}
+
+void StallWatchdog::Configure(int threshold_ms) {
+  threshold_ms_.store(threshold_ms, std::memory_order_relaxed);
+  if (threshold_ms > 0) {
+    // Register the counter now so a scrape shows obs.stalls_total at 0
+    // from the moment the watchdog is armed, not after the first stall.
+    MetricsRegistry::Global().GetCounter(kStallsCounter);
+    EnsureThread();
+  }
+}
+
+uint64_t StallWatchdog::Register(const char* what) {
+  if (threshold_ms() <= 0) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t id = ++next_id_;  // ids start at 1; 0 = disabled guard
+  InFlight& entry = inflight_[id];
+  entry.what = what;
+  entry.start_ns = MonotonicNanos();
+  return id;
+}
+
+void StallWatchdog::Unregister(uint64_t id) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  inflight_.erase(id);
+}
+
+void StallWatchdog::EnsureThread() {
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (thread_started_) return;
+  thread_started_ = true;
+  std::thread([this] { ThreadMain(); }).detach();
+}
+
+void StallWatchdog::ThreadMain() {
+  // Housekeeping tick: drain a pending SIGUSR1 dump request and scan the
+  // in-flight table. 20 ms keeps stall detection latency well under any
+  // plausible threshold without measurable idle cost. The thread runs
+  // for the process lifetime (the watchdog is a leaked global).
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (g_dump_requested.exchange(false, std::memory_order_relaxed)) {
+      DumpGlobalRecorderToStderr("SIGUSR1");
+    }
+    if (threshold_ms() > 0) ScanForStalls();
+  }
+}
+
+void StallWatchdog::ScanForStalls() {
+  const uint64_t threshold_ns =
+      static_cast<uint64_t>(threshold_ms()) * 1000000ull;
+  const uint64_t now = MonotonicNanos();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [id, entry] : inflight_) {
+    if (entry.flagged || now - entry.start_ns < threshold_ns) continue;
+    entry.flagged = true;
+    flagged_total_.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::Global().GetCounter(kStallsCounter)->Add();
+    FlightRecorder::Global().Record(
+        FlightEventKind::kStall, "%s in flight %.1f ms (threshold %d ms)",
+        entry.what, static_cast<double>(now - entry.start_ns) / 1e6,
+        threshold_ms());
+  }
+}
+
+StallWatchdog::Guard::Guard(const char* what)
+    : id_(StallWatchdog::Global().Register(what)) {}
+
+StallWatchdog::Guard::~Guard() { StallWatchdog::Global().Unregister(id_); }
+
+StallWatchdog& StallWatchdog::Global() {
+  static StallWatchdog* watchdog = new StallWatchdog();
+  return *watchdog;
+}
+
+}  // namespace obs
+}  // namespace mpqopt

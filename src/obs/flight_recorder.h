@@ -1,0 +1,174 @@
+// Copyright 2026 mpqopt authors.
+//
+// Flight recorder — an always-on, fixed-size ring of recent structured
+// events (admissions and rejections, round start/finish, worker state
+// transitions, slow queries, session recoveries, stalls), appended from
+// the existing instrumentation call sites. Appends are allocation-free:
+// the detail line is snprintf-formatted into a stack buffer, then copied
+// into a preallocated slot under a mutex held for the memcpy only — on
+// the per-round / per-transition cadence these events fire at, that is
+// indistinguishable from free, and it keeps the ring TSan-clean. The
+// ring overwrites oldest-first; the global sequence number makes loss
+// visible (a dump whose first seq is nonzero dropped earlier events).
+//
+// Dumps are reachable three ways: the telemetry server's
+// /debug/flightrecorder endpoint, SIGUSR1 (InstallSignalDump arms an
+// async-signal-safe flag the housekeeping thread polls), and fatal
+// errors (InstallFatalDump hooks MPQOPT_CHECK's last-words slot).
+//
+// The stall watchdog rides the same housekeeping thread: RpcBackend
+// wraps every scatter round in a StallWatchdog::Guard, and any round
+// still in flight past the configured threshold is flagged once into
+// the recorder and the obs.stalls_total counter — the cheap tripwire
+// for wedged-worker forensics.
+
+#ifndef MPQOPT_OBS_FLIGHT_RECORDER_H_
+#define MPQOPT_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace mpqopt {
+namespace obs {
+
+/// What happened. Values appear in dumps by name, never by number, so
+/// appending new kinds is free.
+enum class FlightEventKind : uint8_t {
+  kAdmit = 0,         ///< admission control admitted a query
+  kReject = 1,        ///< admission control rejected / shed a query
+  kRoundStart = 2,    ///< an RPC scatter round began
+  kRoundFinish = 3,   ///< a backend round completed (any backend)
+  kWorkerState = 4,   ///< supervisor worker health transition
+  kSlowQuery = 5,     ///< a query crossed the slow-query threshold
+  kSessionRecovery = 6,  ///< a session replica was rebuilt on a new worker
+  kStall = 7,         ///< watchdog: a round exceeded the stall threshold
+  kFatal = 8,         ///< fatal-error dump marker
+};
+
+const char* FlightEventKindName(FlightEventKind kind);
+
+/// One recorded event. `detail` is the formatted (possibly truncated)
+/// human-readable payload; `t_ns` is MonotonicNanos at append, the same
+/// clock the worker-log prefix and span traces use.
+struct FlightEvent {
+  uint64_t seq = 0;
+  uint64_t t_ns = 0;
+  FlightEventKind kind = FlightEventKind::kFatal;
+  char detail[104] = {0};
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+  MPQOPT_DISALLOW_COPY_AND_ASSIGN(FlightRecorder);
+
+  /// Appends one event; the formatted detail is truncated to the slot
+  /// size. Safe from any thread.
+  void Record(FlightEventKind kind, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  /// The retained events, oldest first.
+  std::vector<FlightEvent> Snapshot() const;
+
+  /// Text dump: a header (total recorded / retained), then one line per
+  /// event: `[<monotonic ms>] <seq> <kind> <detail>`.
+  std::string DumpText() const;
+
+  /// Events ever recorded (>= retained count once the ring wrapped).
+  uint64_t total_recorded() const;
+
+  size_t capacity() const { return ring_.size(); }
+
+  /// The process-global recorder every built-in call site appends to.
+  static FlightRecorder& Global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<FlightEvent> ring_;  ///< slot = seq % capacity
+  uint64_t next_seq_ = 0;          ///< guarded by mutex_
+};
+
+/// Arms SIGUSR1: the handler only sets an atomic flag (async-signal
+/// safe); the housekeeping thread notices within one tick and writes
+/// FlightRecorder::Global().DumpText() to stderr.
+void InstallFlightRecorderSignalDump();
+
+/// Installs the MPQOPT_CHECK last-words hook: a failed CHECK dumps the
+/// global recorder to stderr before aborting.
+void InstallFlightRecorderFatalDump();
+
+/// Watches registered in-flight operations (RPC rounds) and flags any
+/// that outlive the configured threshold — once per operation — into the
+/// global flight recorder and the obs.stalls_total counter. Disabled
+/// (threshold <= 0) guards are no-ops, so the default cost is zero.
+class StallWatchdog {
+ public:
+  StallWatchdog() = default;
+  MPQOPT_DISALLOW_COPY_AND_ASSIGN(StallWatchdog);
+
+  /// Sets the stall threshold; the first positive threshold starts the
+  /// housekeeping thread and registers obs.stalls_total (so scrapes show
+  /// the instrument at zero before any stall). Thread-safe.
+  void Configure(int threshold_ms);
+
+  int threshold_ms() const {
+    return threshold_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// Operations flagged so far.
+  uint64_t flagged_total() const {
+    return flagged_total_.load(std::memory_order_relaxed);
+  }
+
+  /// RAII registration of one in-flight operation on the GLOBAL
+  /// watchdog. `what` must be a string literal (stored by pointer).
+  class Guard {
+   public:
+    explicit Guard(const char* what);
+    ~Guard();
+    MPQOPT_DISALLOW_COPY_AND_ASSIGN(Guard);
+
+   private:
+    uint64_t id_;  ///< 0 = watchdog disabled at construction, no-op
+  };
+
+  static StallWatchdog& Global();
+
+ private:
+  friend class Guard;
+  friend void InstallFlightRecorderSignalDump();
+
+  struct InFlight {
+    const char* what = nullptr;
+    uint64_t start_ns = 0;
+    bool flagged = false;
+  };
+
+  uint64_t Register(const char* what);
+  void Unregister(uint64_t id);
+  /// Starts the housekeeping thread once (idempotent).
+  void EnsureThread();
+  void ThreadMain();
+  void ScanForStalls();
+
+  std::atomic<int> threshold_ms_{0};
+  std::atomic<uint64_t> flagged_total_{0};
+  mutable std::mutex mutex_;
+  std::map<uint64_t, InFlight> inflight_;  ///< guarded by mutex_
+  uint64_t next_id_ = 0;                   ///< guarded by mutex_
+  std::mutex thread_mutex_;
+  bool thread_started_ = false;  ///< guarded by thread_mutex_
+};
+
+}  // namespace obs
+}  // namespace mpqopt
+
+#endif  // MPQOPT_OBS_FLIGHT_RECORDER_H_

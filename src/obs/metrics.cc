@@ -100,7 +100,10 @@ std::vector<double> Histogram::LatencyBoundariesMs() {
 }
 
 double HistogramSnapshot::ValueAtQuantile(double q) const {
-  if (count == 0) return 0;
+  // A never-recorded instrument (count == 0) — e.g. one scraped at
+  // process startup — and a default-constructed snapshot (empty bounds)
+  // both report 0 explicitly instead of interpolating against nothing.
+  if (count == 0 || bounds.empty()) return 0;
   q = std::min(std::max(q, 0.0), 1.0);
   const double target = q * static_cast<double>(count);
   uint64_t cumulative = 0;
@@ -187,6 +190,24 @@ std::string MetricsRegistry::StatzDump() const {
     out += line;
   }
   return out;
+}
+
+RegistrySample MetricsRegistry::Sample() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySample sample;
+  sample.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    sample.counters.emplace_back(name, counter->Value());
+  }
+  sample.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    sample.gauges.emplace_back(name, gauge->Value());
+  }
+  sample.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    sample.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return sample;
 }
 
 MetricsRegistry& MetricsRegistry::Global() {

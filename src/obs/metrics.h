@@ -31,6 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
@@ -139,6 +140,17 @@ class Histogram {
   Shard shards_[kMetricShards];
 };
 
+/// One coherent read of every instrument in a registry — the scrape
+/// surface. Plain values only, so a sample can be serialized and shipped
+/// across the kStatsPollTask wire (obs/metrics_export.h) and rendered as
+/// Prometheus text by the telemetry server. Each vector is sorted by
+/// instrument name (registry map order).
+struct RegistrySample {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
 /// Name -> instrument registry. Get* registers on first use and returns
 /// the same instrument forever after (histogram boundaries are fixed by
 /// the first registration). Instruments are never removed.
@@ -161,6 +173,11 @@ class MetricsRegistry {
   ///   is the instrument's own unit; the registry does not convert).
   std::string StatzDump() const;
 
+  /// Snapshots every registered instrument into plain values (see
+  /// RegistrySample). The registry lock is held only for the map walk;
+  /// instrument reads are the usual relaxed-atomic sums.
+  RegistrySample Sample() const;
+
   /// The process-global registry every built-in instrument lives in.
   static MetricsRegistry& Global();
 
@@ -180,6 +197,16 @@ class MetricsRegistry {
 inline constexpr const char* kServiceLatencyHistogram = "service.latency_ms";
 inline constexpr const char* kQueueWaitHistogram = "admission.queue_wait_ms";
 inline constexpr const char* kRoundTimeHistogram = "backend.round_ms";
+/// Counter names (plain counters, registered on first use):
+///   obs.stalls_total          RPC rounds flagged by the stall watchdog
+///   worker.requests_total     frames served by a worker's RPC serve loop
+///   worker.task_errors_total  stateless tasks that returned an error
+/// plus worker.serve_ms, the worker-side per-task serve histogram.
+inline constexpr const char* kStallsCounter = "obs.stalls_total";
+inline constexpr const char* kWorkerRequestsCounter = "worker.requests_total";
+inline constexpr const char* kWorkerTaskErrorsCounter =
+    "worker.task_errors_total";
+inline constexpr const char* kWorkerServeHistogram = "worker.serve_ms";
 
 }  // namespace obs
 }  // namespace mpqopt

@@ -1,0 +1,76 @@
+// Copyright 2026 mpqopt authors.
+//
+// Registry-sample export: the wire format the kStatsPollTask envelope
+// ships a worker's MetricsRegistry home in, and the Prometheus text
+// exposition (format 0.0.4) the telemetry server renders scrapes from.
+//
+// Rendering merges any number of labeled samples (the master's own plus
+// one per polled worker) into ONE exposition: each metric family gets a
+// single # HELP/# TYPE header followed by every sample's series, so a
+// fleet scrape is still a valid exposition — Prometheus rejects repeated
+// TYPE lines for one family. Instrument names use dots ("service.
+// latency_ms"); exposition names sanitize them to underscores
+// ("service_latency_ms"). Histograms render as the conventional
+// cumulative series: `name_bucket{le="..."}` rows ending in the
+// mandatory `le="+Inf"`, plus `name_sum` and `name_count`.
+
+#ifndef MPQOPT_OBS_METRICS_EXPORT_H_
+#define MPQOPT_OBS_METRICS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace mpqopt {
+namespace obs {
+
+/// One worker's registry sample tagged with the endpoint it came from;
+/// the telemetry server re-exports it with worker="<endpoint>" on every
+/// series.
+struct WorkerStatsSample {
+  std::string endpoint;
+  RegistrySample sample;
+};
+
+/// One sample with the worker-label value its series carry; an empty
+/// `worker` means unlabeled (the master's own series).
+struct LabeledSample {
+  std::string worker;
+  RegistrySample sample;
+};
+
+/// Exposition metric name for a registry instrument name: every
+/// character outside [a-zA-Z0-9_:] becomes '_', and a leading digit gets
+/// a '_' prefix ("service.latency_ms" -> "service_latency_ms").
+std::string PrometheusName(const std::string& name);
+
+/// Escapes a label value for exposition quoting: backslash, double
+/// quote, and newline (the three characters the format escapes).
+std::string EscapeLabelValue(const std::string& value);
+
+/// Renders the merged exposition for `samples` (see file comment). The
+/// result always ends with a newline when any series was emitted.
+std::string RenderPrometheus(const std::vector<LabeledSample>& samples);
+
+/// kStatsPollTask response payload — a whole registry sample:
+///   u32 counter count,   per counter:   string name, u64 value
+///   u32 gauge count,     per gauge:     string name, i64 value
+///   u32 histogram count, per histogram: string name,
+///     u32 bounds count, f64 each, u32 bucket count, u64 each,
+///     u64 total count, f64 sum
+/// Deterministic for a fixed sample (names are registry-sorted), like
+/// every other ByteWriter format in the repo.
+void SerializeRegistrySample(const RegistrySample& sample, ByteWriter* writer);
+
+/// Parses SerializeRegistrySample's output; Corruption on any malformed
+/// frame (a broken worker must not crash the scraping master).
+Status ParseRegistrySample(const std::vector<uint8_t>& bytes,
+                           RegistrySample* out);
+
+}  // namespace obs
+}  // namespace mpqopt
+
+#endif  // MPQOPT_OBS_METRICS_EXPORT_H_

@@ -1,0 +1,126 @@
+// Copyright 2026 mpqopt authors.
+//
+// TelemetryServer — the live telemetry plane: a minimal embedded
+// HTTP/1.1 server (GET-only, no dependencies; built on the same
+// Socket/TcpListener helpers RpcBackend uses) that serves:
+//
+//   /metrics               Prometheus text exposition 0.0.4 of the
+//                          registry, PLUS — when a backend is attached —
+//                          every rpc worker's own registry re-exported
+//                          with a worker="<addr>" label, so one scrape
+//                          shows master and whole pool. Worker polls go
+//                          through the kStatsPollTask envelope and are
+//                          cached for worker_poll_ttl_ms so scrapes
+//                          cannot stampede the fleet.
+//   /healthz               JSON roll-up of backend health(): state
+//                          READY / DEGRADED / UNREADY with per-worker
+//                          detail. Always HTTP 200 (liveness).
+//   /readyz                Same JSON; HTTP 200 only when the process can
+//                          serve (init ok and, with remote workers, at
+//                          least one HEALTHY) — 503 otherwise.
+//   /statz                 The existing MetricsRegistry::StatzDump().
+//   /debug/flightrecorder  FlightRecorder::Global().DumpText().
+//
+// The accept loop runs on one background thread and handles one
+// connection at a time — scrapes are rare and tiny; a telemetry plane
+// must never compete with the serving path for resources. Every
+// response closes the connection (Connection: close).
+
+#ifndef MPQOPT_OBS_TELEMETRY_SERVER_H_
+#define MPQOPT_OBS_TELEMETRY_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/backend.h"
+#include "common/status.h"
+#include "net/frame_transport.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/metrics_export.h"
+
+namespace mpqopt {
+namespace obs {
+
+struct TelemetryOptions {
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; TelemetryServer::port() reports it.
+  int port = 0;
+  /// Registry to scrape; null = MetricsRegistry::Global().
+  MetricsRegistry* registry = nullptr;
+  /// Recorder behind /debug/flightrecorder; null = Global().
+  FlightRecorder* recorder = nullptr;
+  /// Backend whose health() and PollWorkerStats() feed /healthz and the
+  /// worker-labeled /metrics series. Null = standalone mode (a worker
+  /// process serving only its own registry; /healthz is READY iff
+  /// init_status is ok).
+  std::shared_ptr<ExecutionBackend> backend;
+  /// Process init status for the readiness roll-up; null = always OK.
+  std::function<Status()> init_status;
+  /// Minimum milliseconds between fleet stats polls; scrapes inside the
+  /// window serve the cached worker samples. 0 polls on every scrape.
+  int worker_poll_ttl_ms = 1000;
+};
+
+class TelemetryServer {
+ public:
+  /// Binds and starts the accept thread. On success the server is
+  /// already scrapeable.
+  static StatusOr<std::unique_ptr<TelemetryServer>> Start(
+      TelemetryOptions options);
+
+  ~TelemetryServer();
+  MPQOPT_DISALLOW_COPY_AND_ASSIGN(TelemetryServer);
+
+  /// Stops the accept loop and joins the thread (idempotent).
+  void Stop();
+
+  /// The bound port (the ephemeral one when options.port was 0).
+  int port() const { return port_; }
+
+  /// Endpoint payload builders, exposed for tests and for the in-process
+  /// self-scrape macrobench performs:
+  std::string RenderMetrics();
+  /// `*http_status` (may be null) gets the /readyz code: 200 unless the
+  /// roll-up is UNREADY (503).
+  std::string RenderHealthJson(int* http_status);
+
+ private:
+  explicit TelemetryServer(TelemetryOptions options);
+
+  void AcceptLoop();
+  void ServeConnection(Socket conn);
+  std::vector<WorkerStatsSample> PolledWorkerStats();
+
+  TelemetryOptions options_;
+  TcpListener listener_;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+
+  std::mutex poll_mutex_;
+  bool poll_valid_ = false;              ///< guarded by poll_mutex_
+  uint64_t last_poll_ns_ = 0;            ///< guarded by poll_mutex_
+  std::vector<WorkerStatsSample> poll_cache_;  ///< guarded by poll_mutex_
+};
+
+/// Tiny HTTP/1.1 GET client for scraping a telemetry endpoint (tests,
+/// macrobench's self-scrape, and CI's live-scrape gate).
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+StatusOr<HttpResponse> HttpGet(const std::string& endpoint,
+                               const std::string& path,
+                               int timeout_ms = 5000);
+
+}  // namespace obs
+}  // namespace mpqopt
+
+#endif  // MPQOPT_OBS_TELEMETRY_SERVER_H_

@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+
 namespace mpqopt {
 namespace obs {
 namespace {
@@ -116,6 +118,11 @@ void TraceCollector::Collect(std::unique_ptr<QueryTrace> trace) {
                  static_cast<unsigned long long>(trace->trace_id()),
                  trace->label().c_str(), trace->RootMillis(),
                  options_.slow_query_ms, breakdown.c_str());
+    FlightRecorder::Global().Record(
+        FlightEventKind::kSlowQuery,
+        "trace=%llu label=%s took %.3f ms (threshold %.3f ms)",
+        static_cast<unsigned long long>(trace->trace_id()),
+        trace->label().c_str(), trace->RootMillis(), options_.slow_query_ms);
   }
   std::lock_guard<std::mutex> lock(mutex_);
   traces_.push_back(std::move(trace));

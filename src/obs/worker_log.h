@@ -17,26 +17,90 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
 
 #include "obs/trace.h"
 
 namespace mpqopt {
 namespace obs {
 
+/// Log verbosity: a line is emitted only when its level is at or below
+/// the process-wide threshold. The threshold only gates emission — the
+/// line format is identical at every level, so log consumers never need
+/// to know how verbose the producer was.
+enum class WorkerLogLevel : int {
+  kError = 0,  ///< serve-loop and startup failures
+  kInfo = 1,   ///< connection lifecycle, shutdown, chaos (the default)
+  kDebug = 2,  ///< per-task serve lines
+};
+
+/// Process-wide threshold slot (relaxed atomic: a racing --log-level=
+/// parse at startup at worst gates one line under the old threshold).
+inline std::atomic<int>& WorkerLogLevelSlot() {
+  static std::atomic<int> level{static_cast<int>(WorkerLogLevel::kInfo)};
+  return level;
+}
+
+inline void SetWorkerLogLevel(WorkerLogLevel level) {
+  WorkerLogLevelSlot().store(static_cast<int>(level),
+                             std::memory_order_relaxed);
+}
+
+/// Parses an "--log-level=" value; false on anything but the three names.
+inline bool ParseWorkerLogLevel(const char* name, WorkerLogLevel* level) {
+  if (std::strcmp(name, "error") == 0) {
+    *level = WorkerLogLevel::kError;
+  } else if (std::strcmp(name, "info") == 0) {
+    *level = WorkerLogLevel::kInfo;
+  } else if (std::strcmp(name, "debug") == 0) {
+    *level = WorkerLogLevel::kDebug;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 /// printf-style structured log line to stderr:
 ///   [<monotonic ms> w:<pid>] <message>\n
 /// The caller's format string must not end in '\n' (added here).
-inline void WorkerLogf(const char* fmt, ...) {
+inline void WorkerLogv(WorkerLogLevel level, const char* fmt, va_list args) {
+  if (static_cast<int>(level) >
+      WorkerLogLevelSlot().load(std::memory_order_relaxed)) {
+    return;
+  }
   char message[512];
-  va_list args;
-  va_start(args, fmt);
   std::vsnprintf(message, sizeof(message), fmt, args);
-  va_end(args);
   std::fprintf(stderr, "[%11.3f w:%ld] %s\n",
                static_cast<double>(MonotonicNanos()) / 1e6,
                static_cast<long>(::getpid()), message);
+}
+
+/// Info-level log line — the historical default, so every existing call
+/// site keeps its behavior.
+inline void WorkerLogf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  WorkerLogv(WorkerLogLevel::kInfo, fmt, args);
+  va_end(args);
+}
+
+/// Error-level log line: emitted even under --log-level=error.
+inline void WorkerLogErrorf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  WorkerLogv(WorkerLogLevel::kError, fmt, args);
+  va_end(args);
+}
+
+/// Debug-level log line: emitted only under --log-level=debug.
+inline void WorkerLogDebugf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  WorkerLogv(WorkerLogLevel::kDebug, fmt, args);
+  va_end(args);
 }
 
 }  // namespace obs

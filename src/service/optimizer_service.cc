@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "plancache/fingerprint.h"
 
@@ -160,10 +161,17 @@ StatusOr<MpqResult> OptimizerService::OptimizeTraced(
   if (admission_ != nullptr) {
     StatusOr<AdmissionController::Ticket> admitted = admission_->Admit(ctx);
     if (!admitted.ok()) {
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventKind::kReject, "tenant=%s: %s", ctx.tenant.c_str(),
+          admitted.status().ToString().c_str());
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.queries_failed;
       return admitted.status();
     }
+    obs::FlightRecorder::Global().Record(obs::FlightEventKind::kAdmit,
+                                         "tenant=%s %zut query",
+                                         ctx.tenant.c_str(),
+                                         query.num_tables());
     ticket = std::move(admitted).value();
   }
   if (backend_ == nullptr) {

@@ -79,6 +79,22 @@ TEST(MetricsTest, HistogramCountsSumAndInterpolatedPercentiles) {
   EXPECT_DOUBLE_EQ(hist.Snapshot().Percentile(100), 8.0);
 }
 
+TEST(MetricsTest, EmptyHistogramPercentileIsZero) {
+  // An unrecorded histogram must answer 0, not divide by a zero count or
+  // interpolate into garbage — /statz and the telemetry exposition render
+  // snapshots of histograms that may never have been touched.
+  obs::Histogram hist({1.0, 2.0});
+  const obs::HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(100), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+  // A degenerate snapshot with no bounds at all is equally inert.
+  obs::HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.Percentile(99), 0.0);
+}
+
 TEST(MetricsTest, SnapshotSinceIsolatesAWindow) {
   obs::Histogram hist({1.0, 10.0});
   hist.Record(0.5);

@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""Lints a Prometheus text-exposition (0.0.4) scrape.
+
+Validates the /metrics output the telemetry server produces (and that an
+external Prometheus would have to parse):
+
+  * every sample's metric family has a # HELP and # TYPE line, emitted
+    BEFORE the family's first sample, and exactly once per family
+  * metric and label names are legal, label values use only the three
+    escapes the format defines (\\, \", \n)
+  * histogram families expose _bucket/_sum/_count series; per label-set
+    the buckets are cumulative (non-decreasing in le), terminate in an
+    le="+Inf" bucket, and the +Inf bucket equals the _count sample
+  * counter samples are non-negative
+
+Usage:
+  tools/check_metrics.py SCRAPE_FILE [--require=name,name...]
+      [--require-label=key]
+
+--require fails unless each named family has at least one sample;
+--require-label fails unless at least one sample carries that label
+(CI passes --require-label=worker to prove the fleet poll worked).
+
+Exit codes: 0 ok, 1 validation failure, 2 bad invocation/unreadable
+input. Stdlib only.
+"""
+
+import argparse
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One sample line: name{labels} value  (labels optional).
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)\s*$")
+
+
+def fail(msg):
+    print("check_metrics: FAIL: %s" % msg, file=sys.stderr)
+    return 1
+
+
+def parse_label_value(raw, lineno):
+    """Unescapes a quoted label value; returns None on an illegal escape."""
+    out = []
+    i = 0
+    while i < len(raw):
+        c = raw[i]
+        if c == "\\":
+            if i + 1 >= len(raw) or raw[i + 1] not in ("\\", '"', "n"):
+                return None
+            out.append({"\\": "\\", '"': '"', "n": "\n"}[raw[i + 1]])
+            i += 2
+        elif c == '"':
+            return None  # unescaped quote inside a value
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def parse_labels(raw, lineno, errors):
+    """'a="x",b="y"' -> dict, appending messages to errors on problems."""
+    labels = {}
+    i = 0
+    while i < len(raw):
+        eq = raw.find("=", i)
+        if eq < 0:
+            errors.append("line %d: malformed label block %r" % (lineno, raw))
+            return labels
+        name = raw[i:eq]
+        if not LABEL_NAME_RE.match(name):
+            errors.append("line %d: bad label name %r" % (lineno, name))
+        if eq + 1 >= len(raw) or raw[eq + 1] != '"':
+            errors.append("line %d: label value not quoted" % lineno)
+            return labels
+        # Scan to the closing unescaped quote.
+        j = eq + 2
+        while j < len(raw):
+            if raw[j] == "\\":
+                j += 2
+                continue
+            if raw[j] == '"':
+                break
+            j += 1
+        if j >= len(raw):
+            errors.append("line %d: unterminated label value" % lineno)
+            return labels
+        value = parse_label_value(raw[eq + 2:j], lineno)
+        if value is None:
+            errors.append("line %d: illegal escape in label value %r"
+                          % (lineno, raw[eq + 2:j]))
+            value = raw[eq + 2:j]
+        labels[name] = value
+        i = j + 1
+        if i < len(raw) and raw[i] == ",":
+            i += 1
+    return labels
+
+
+def family_of(name):
+    """Histogram sample names map back to their family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="lint a Prometheus 0.0.4 text scrape")
+    parser.add_argument("scrape", help="scrape file to validate")
+    parser.add_argument("--require", default="",
+                        help="comma-separated family names that must have "
+                             "samples")
+    parser.add_argument("--require-label", default="",
+                        help="a label key at least one sample must carry")
+    args = parser.parse_args()
+
+    try:
+        with open(args.scrape, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print("check_metrics: cannot read %s: %s" % (args.scrape, e),
+              file=sys.stderr)
+        return 2
+
+    errors = []
+    helped = set()
+    typed = {}           # family -> declared type
+    sampled = set()      # families that have emitted a sample already
+    sample_count = 0
+    label_keys = set()
+    # (family, frozen labels minus 'le') -> list of (le, value, lineno)
+    buckets = {}
+    counts = {}          # (family, frozen labels) -> _count value
+    values_by_family = {}
+
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                errors.append("line %d: HELP line without text" % lineno)
+                continue
+            name = parts[2]
+            if name in helped:
+                errors.append("line %d: duplicate HELP for %s"
+                              % (lineno, name))
+            if name in sampled:
+                errors.append("line %d: HELP for %s after its samples"
+                              % (lineno, name))
+            helped.add(name)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"):
+                errors.append("line %d: malformed TYPE line %r"
+                              % (lineno, line))
+                continue
+            name = parts[2]
+            if name in typed:
+                errors.append("line %d: duplicate TYPE for %s"
+                              % (lineno, name))
+            if name in sampled:
+                errors.append("line %d: TYPE for %s after its samples"
+                              % (lineno, name))
+            typed[name] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal and ignored
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append("line %d: unparseable sample %r" % (lineno, line))
+            continue
+        name, _, raw_labels, raw_value = m.groups()
+        if not METRIC_RE.match(name):
+            errors.append("line %d: bad metric name %r" % (lineno, name))
+        try:
+            value = float(raw_value)
+        except ValueError:
+            if raw_value not in ("+Inf", "-Inf", "NaN"):
+                errors.append("line %d: bad sample value %r"
+                              % (lineno, raw_value))
+            value = 0.0
+        labels = parse_labels(raw_labels, lineno, errors) if raw_labels \
+            else {}
+        label_keys.update(labels.keys())
+
+        family = family_of(name)
+        if family not in typed:
+            errors.append("line %d: sample %s has no TYPE line"
+                          % (lineno, name))
+        if family not in helped:
+            errors.append("line %d: sample %s has no HELP line"
+                          % (lineno, name))
+        sampled.add(family)
+        sample_count += 1
+        values_by_family.setdefault(family, []).append(value)
+
+        if typed.get(family) == "counter" and value < 0:
+            errors.append("line %d: counter %s is negative" % (lineno, name))
+        if typed.get(family) == "histogram":
+            key_labels = {k: v for k, v in labels.items() if k != "le"}
+            key = (family, tuple(sorted(key_labels.items())))
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append("line %d: bucket without le label"
+                                  % lineno)
+                    continue
+                le = (float("inf") if labels["le"] == "+Inf"
+                      else float(labels["le"]))
+                buckets.setdefault(key, []).append((le, value, lineno))
+            elif name.endswith("_count"):
+                counts[key] = (value, lineno)
+
+    for (family, labelset), series in buckets.items():
+        ordered = sorted(series, key=lambda s: s[0])
+        prev = None
+        for le, value, lineno in ordered:
+            if prev is not None and value < prev:
+                errors.append(
+                    "line %d: %s buckets not cumulative at le=%g"
+                    % (lineno, family, le))
+            prev = value
+        if not ordered or ordered[-1][0] != float("inf"):
+            errors.append("histogram %s%s has no le=\"+Inf\" bucket"
+                          % (family, dict(labelset)))
+        else:
+            inf_value = ordered[-1][1]
+            if labelset_count := counts.get((family, labelset)):
+                if inf_value != labelset_count[0]:
+                    errors.append(
+                        "histogram %s%s: +Inf bucket %g != _count %g"
+                        % (family, dict(labelset), inf_value,
+                           labelset_count[0]))
+            else:
+                errors.append("histogram %s%s has no _count sample"
+                              % (family, dict(labelset)))
+
+    for name in filter(None, args.require.split(",")):
+        if name not in sampled:
+            errors.append("required family %s has no samples" % name)
+    if args.require_label and args.require_label not in label_keys:
+        errors.append("no sample carries required label %r"
+                      % args.require_label)
+
+    if errors:
+        for e in errors:
+            fail(e)
+        return 1
+    print("check_metrics: OK: %d samples across %d families (%d histogram "
+          "label-sets checked)"
+          % (sample_count, len(sampled), len(buckets)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,13 +23,17 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "catalog/generator.h"
 #include "mpq/mpq.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/percentile.h"
+#include "obs/telemetry_server.h"
 #include "obs/trace.h"
 #include "optimizer/pqo.h"
 #include "plan/plan.h"
@@ -66,6 +70,8 @@ struct CliOptions {
   bool coalesce = false;
   std::string trace_out;
   double slow_query_ms = 0;
+  int telemetry_port = -1;  // -1 = no telemetry server
+  int stall_watchdog_ms = 0;
   bool statz = false;
   /// True once any serving-only flag (--plan-cache*, --unique-queries)
   /// was given, so Main can reject them outside serving mode instead of
@@ -136,6 +142,13 @@ const FlagDoc kFlagDocs[] = {
     {"--slow-query-ms", "MS",
      "serving mode: print a span breakdown to stderr for any query "
      "slower than MS milliseconds (0 = off)"},
+    {"--telemetry-port", "PORT",
+     "serving mode: serve /metrics (Prometheus, fleet-wide), /healthz, "
+     "/readyz, /statz and /debug/flightrecorder over HTTP on "
+     "127.0.0.1:PORT (0 picks an ephemeral port)"},
+    {"--stall-watchdog-ms", "MS",
+     "flag any rpc round in flight longer than MS milliseconds into the "
+     "flight recorder and obs.stalls_total (0 = off)"},
     {"--statz", nullptr,
      "dump the metrics registry (counters/gauges/histograms) on exit"},
     {"--processes", nullptr, "alias for --backend=process"},
@@ -321,6 +334,21 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
         std::fprintf(stderr, "--slow-query-ms must be >= 0\n");
         return false;
       }
+    } else if (ParseFlag(argv[i], "--telemetry-port", &v)) {
+      opts->telemetry_port = std::atoi(v.c_str());
+      opts->serving_flags_used = true;
+      if (v.empty() || opts->telemetry_port < 0 ||
+          opts->telemetry_port > 65535) {
+        std::fprintf(stderr, "invalid --telemetry-port value: %s\n",
+                     v.c_str());
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--stall-watchdog-ms", &v)) {
+      opts->stall_watchdog_ms = std::atoi(v.c_str());
+      if (opts->stall_watchdog_ms < 0) {
+        std::fprintf(stderr, "--stall-watchdog-ms must be >= 0\n");
+        return false;
+      }
     } else if (ParseFlag(argv[i], "--statz", &v)) {
       opts->statz = true;
     } else if (ParseFlag(argv[i], "--processes", &v)) {
@@ -423,6 +451,9 @@ int RunService(QueryGenerator* generator, const CliOptions& cli) {
     std::fprintf(stderr, "error: %s\n", backend.status().ToString().c_str());
     return 1;
   }
+  // The telemetry server shares the service's backend so /healthz and
+  // fleet /metrics see the same supervised workers the queries run on.
+  std::shared_ptr<ExecutionBackend> shared_backend = backend.value();
   ServiceOptions service_opts;
   service_opts.backend = std::move(backend).value();
   service_opts.enable_plan_cache = cli.plan_cache;
@@ -440,6 +471,23 @@ int RunService(QueryGenerator* generator, const CliOptions& cli) {
   const bool tracing = !cli.trace_out.empty() || cli.slow_query_ms > 0;
   if (tracing) service_opts.trace_collector = &collector;
   OptimizerService service(service_opts);
+  std::unique_ptr<obs::TelemetryServer> telemetry;
+  if (cli.telemetry_port >= 0) {
+    obs::TelemetryOptions topts;
+    topts.port = cli.telemetry_port;
+    topts.backend = shared_backend;
+    StatusOr<std::unique_ptr<obs::TelemetryServer>> server =
+        obs::TelemetryServer::Start(std::move(topts));
+    if (!server.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   server.status().ToString().c_str());
+      return 1;
+    }
+    telemetry = std::move(server).value();
+    std::printf("telemetry          http://127.0.0.1:%d/metrics\n",
+                telemetry->port());
+    std::fflush(stdout);
+  }
   RequestContext ctx;
   ctx.priority = cli.priority;
   const BatchReport report = service.OptimizeBatch(queries, opts, ctx);
@@ -666,6 +714,13 @@ int Main(int argc, char** argv) {
       return 2;
     }
   }
+  // SIGUSR1 dumps the flight recorder; a fatal MPQOPT_CHECK failure
+  // dumps it automatically on the way down.
+  obs::InstallFlightRecorderSignalDump();
+  obs::InstallFlightRecorderFatalDump();
+  if (cli.stall_watchdog_ms > 0) {
+    obs::StallWatchdog::Global().Configure(cli.stall_watchdog_ms);
+  }
   GeneratorOptions gen_opts;
   gen_opts.shape = cli.shape;
   QueryGenerator generator(gen_opts, cli.seed);
@@ -677,8 +732,8 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "error: --plan-cache/--plan-cache-mb/--plan-cache-ttl/"
                  "--unique-queries/--admission/--tenant-rate/--tenant-burst/"
-                 "--priority/--queue-depth require serving mode "
-                 "(--concurrent-queries>=1, not --variant=pqo)\n");
+                 "--priority/--queue-depth/--telemetry-port require serving "
+                 "mode (--concurrent-queries>=1, not --variant=pqo)\n");
     return 2;
   }
   // --statz dumps the process-global metrics registry on the way out,

@@ -38,10 +38,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <string>
 
 #include "cluster/rpc_backend.h"
 #include "net/frame_transport.h"
+#include "obs/flight_recorder.h"
+#include "obs/telemetry_server.h"
 #include "obs/worker_log.h"
 
 namespace mpqopt {
@@ -68,6 +71,8 @@ void InstallShutdownHandlers() {
 struct WorkerOptions {
   std::string listen = "0.0.0.0:0";
   int64_t chaos_kill_after = -1;
+  int telemetry_port = -1;  // -1 = no telemetry server
+  obs::WorkerLogLevel log_level = obs::WorkerLogLevel::kInfo;
   SessionStoreOptions sessions;
   bool help = false;
 };
@@ -94,6 +99,12 @@ const FlagDoc kFlagDocs[] = {
     {"--session-max-bytes", "N",
      "per-session replica byte cap; an open/step that exceeds it fails "
      "deterministically and drops the replica (default 268435456)"},
+    {"--telemetry-port", "PORT",
+     "serve /metrics, /healthz, /statz and /debug/flightrecorder over "
+     "HTTP on 127.0.0.1:PORT (0 picks an ephemeral port, printed as "
+     "\"TELEMETRY <port>\"); off by default"},
+    {"--log-level", "LEVEL",
+     "stderr log threshold: error, info, or debug (default info)"},
     {"--help", nullptr, "print this message"},
 };
 
@@ -155,6 +166,22 @@ bool ParseArgs(int argc, char** argv, WorkerOptions* opts) {
     } else if (ParseFlag(argv[i], "--session-max-bytes", &v)) {
       if (!ParseNonNegative(v, "--session-max-bytes", &parsed)) return false;
       opts->sessions.max_session_bytes = static_cast<uint64_t>(parsed);
+    } else if (ParseFlag(argv[i], "--telemetry-port", &v)) {
+      if (!ParseNonNegative(v, "--telemetry-port", &parsed) ||
+          parsed > 65535) {
+        std::fprintf(stderr, "invalid --telemetry-port value: %s\n",
+                     v.c_str());
+        return false;
+      }
+      opts->telemetry_port = static_cast<int>(parsed);
+    } else if (ParseFlag(argv[i], "--log-level", &v)) {
+      if (!obs::ParseWorkerLogLevel(v.c_str(), &opts->log_level)) {
+        std::fprintf(stderr,
+                     "invalid --log-level value: %s (expected "
+                     "error|info|debug)\n",
+                     v.c_str());
+        return false;
+      }
     } else if (std::strcmp(argv[i], "--help") == 0) {
       opts->help = true;
       return true;  // help wins over everything else on the line
@@ -176,6 +203,7 @@ int Main(int argc, char** argv) {
     PrintUsage(stdout, argv[0]);
     return 0;
   }
+  obs::SetWorkerLogLevel(opts.log_level);
 
   std::string host;
   int port = 0;
@@ -190,6 +218,24 @@ int Main(int argc, char** argv) {
     return 1;
   }
   InstallShutdownHandlers();
+  // SIGUSR1 dumps the flight recorder; a fatal MPQOPT_CHECK failure
+  // dumps it automatically on the way down.
+  obs::InstallFlightRecorderSignalDump();
+  obs::InstallFlightRecorderFatalDump();
+  std::unique_ptr<obs::TelemetryServer> telemetry;
+  if (opts.telemetry_port >= 0) {
+    obs::TelemetryOptions topts;
+    topts.port = opts.telemetry_port;
+    StatusOr<std::unique_ptr<obs::TelemetryServer>> server =
+        obs::TelemetryServer::Start(std::move(topts));
+    if (!server.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   server.status().ToString().c_str());
+      return 1;
+    }
+    telemetry = std::move(server).value();
+    std::printf("TELEMETRY %d\n", telemetry->port());
+  }
   std::printf("LISTENING %d\n", listener.value().port());
   std::fflush(stdout);
   // Structured stderr from here on: every line carries a monotonic-ms
@@ -211,7 +257,9 @@ int Main(int argc, char** argv) {
     obs::WorkerLogf("drained, shutting down cleanly");
     return 0;
   }
-  obs::WorkerLogf("error: %s", s.ToString().c_str());
+  obs::WorkerLogErrorf("error: %s", s.ToString().c_str());
+  std::fprintf(stderr, "%s",
+               obs::FlightRecorder::Global().DumpText().c_str());
   return 1;
 }
 
